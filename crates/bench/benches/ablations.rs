@@ -1,0 +1,205 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * decay-counter resolution (1/2/4 bits) — the hierarchical-counter
+//!   quantisation trade-off,
+//! * write-buffer depth and OoO window — core/memory coupling knobs,
+//! * fixed vs. oracle-adaptive decay interval (the §II adaptive schemes'
+//!   upper bound),
+//! * MESI vs. MOESI turn-off cost profile.
+//!
+//! Each group prints its measurement table once (the numbers are the
+//! point; timing just keeps criterion honest about the cost).
+
+use cmpleak_core::adaptive::{oracle_advantage, oracle_pick, relative_edp};
+use cmpleak_core::metrics::TechniqueMetrics;
+use cmpleak_core::sweep::{run_sweep, SweepConfig};
+use cmpleak_core::{run_experiment, ExperimentConfig, Technique, WorkloadSpec};
+use cmpleak_coherence::bus::SnoopKind;
+use cmpleak_coherence::{mesi, moesi};
+use cmpleak_cpu::Workload;
+use cmpleak_system::run_simulation;
+use cmpleak_workloads::GenerationalWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const INSTR: u64 = 150_000;
+
+fn cell(
+    technique: Technique,
+    mutate: impl Fn(&mut cmpleak_system::CmpConfig),
+) -> cmpleak_system::SimStats {
+    let base = ExperimentConfig::paper(WorkloadSpec::water_ns(), technique, 1);
+    let mut cfg = base.cmp_config();
+    cfg.instructions_per_core = INSTR;
+    mutate(&mut cfg);
+    let wls: Vec<Box<dyn Workload>> = (0..cfg.n_cores)
+        .map(|c| {
+            Box::new(GenerationalWorkload::new(WorkloadSpec::water_ns(), c, cfg.n_cores, 42))
+                as Box<dyn Workload>
+        })
+        .collect();
+    run_simulation(cfg, wls)
+}
+
+fn bench_decay_granularity(c: &mut Criterion) {
+    println!("\n== ablation: decay counter resolution (decay = 64K cycles) ==");
+    println!("{:>6} {:>12} {:>14} {:>16}", "bits", "tick", "occupation", "counter events");
+    for bits in [1u32, 2, 4] {
+        let stats = cell(Technique::Decay { decay_cycles: 64 * 1024 }, |cfg| {
+            cfg.l2.decay_counter_bits = bits;
+        });
+        let events: u64 = stats.trace.iter().map(|t| t.decay_counter_events).sum();
+        println!(
+            "{:>6} {:>12} {:>13.1}% {:>16}",
+            bits,
+            (64 * 1024) >> bits,
+            stats.occupation_rate() * 100.0,
+            events
+        );
+    }
+    let mut g = c.benchmark_group("ablation_decay_bits");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for bits in [1u32, 2, 4] {
+        g.bench_function(format!("{bits}bit"), |b| {
+            b.iter(|| {
+                cell(Technique::Decay { decay_cycles: 64 * 1024 }, |cfg| {
+                    cfg.l2.decay_counter_bits = bits;
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    println!("\n== ablation: write-buffer depth / OoO window (baseline) ==");
+    println!("{:>10} {:>10} {:>10} {:>10}", "wb depth", "window", "cycles", "amat");
+    for (wb, window) in [(2usize, 64u64), (8, 64), (8, 16), (8, 256)] {
+        let stats = cell(Technique::Baseline, |cfg| {
+            cfg.l1.write_buffer = wb;
+            cfg.core.window = window;
+        });
+        println!("{:>10} {:>10} {:>10} {:>10.1}", wb, window, stats.cycles, stats.amat());
+    }
+    let mut g = c.benchmark_group("ablation_sensitivity");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.bench_function("shallow_wb", |b| {
+        b.iter(|| cell(Technique::Baseline, |cfg| cfg.l1.write_buffer = 2))
+    });
+    g.bench_function("narrow_window", |b| {
+        b.iter(|| cell(Technique::Baseline, |cfg| cfg.core.window = 16))
+    });
+    g.finish();
+}
+
+fn bench_adaptive_vs_fixed(c: &mut Criterion) {
+    let grid = run_sweep(&SweepConfig {
+        benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+        sizes_mb: vec![1],
+        techniques: vec![
+            Technique::Decay { decay_cycles: 512 * 1024 },
+            Technique::Decay { decay_cycles: 128 * 1024 },
+            Technique::Decay { decay_cycles: 64 * 1024 },
+        ],
+        instructions_per_core: INSTR,
+        seed: 42,
+        n_cores: 4,
+        threads: 0,
+    });
+    let choices = oracle_pick(&grid, "decay");
+    println!("\n== ablation: fixed vs oracle-adaptive decay interval ==");
+    for ch in &choices {
+        println!(
+            "  {:10} -> {:12} EDP {:.3} (best fixed {:.3})",
+            ch.benchmark, ch.technique, ch.edp, ch.best_fixed_edp
+        );
+    }
+    println!("  mean oracle advantage: {:.4} EDP", oracle_advantage(&choices));
+
+    let mut g = c.benchmark_group("ablation_adaptive");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.bench_function("oracle_pick", |b| b.iter(|| oracle_pick(&grid, "decay")));
+    g.finish();
+}
+
+fn bench_moesi_vs_mesi(c: &mut Criterion) {
+    // Protocol-level cost profile: drive both machines through the same
+    // dirty-sharing + turn-off scenario and count bus-visible costs.
+    fn mesi_costs(rounds: u64) -> (u64, u64) {
+        let (mut writebacks, extra_invals) = (0u64, 0u64);
+        for _ in 0..rounds {
+            // M line read by another core, then turned off. MESI pays
+            // the write-back at the snoop (M -> S flush); the clean
+            // turn-off afterwards is free.
+            let t1 = mesi::step(
+                mesi::MesiState::Modified,
+                mesi::Event::Snoop(SnoopKind::BusRd),
+                mesi::SnoopContext::default(),
+            );
+            writebacks += t1.writeback as u64;
+            let t2 = mesi::step(
+                t1.next.unwrap(),
+                mesi::Event::TurnOff,
+                mesi::SnoopContext::default(),
+            );
+            writebacks += t2.writeback as u64;
+        }
+        (writebacks, extra_invals)
+    }
+    fn moesi_costs(rounds: u64) -> (u64, u64) {
+        let (mut writebacks, mut extra_invals) = (0u64, 0u64);
+        for _ in 0..rounds {
+            let t1 = moesi::step(moesi::MoesiState::Modified, moesi::MoesiEvent::Snoop(SnoopKind::BusRd));
+            writebacks += t1.writeback as u64;
+            let t2 = moesi::step(t1.next.unwrap(), moesi::MoesiEvent::TurnOff);
+            writebacks += t2.writeback as u64;
+            extra_invals += t2.invalidate_other_copies as u64;
+        }
+        (writebacks, extra_invals)
+    }
+    let (mesi_wb, mesi_inv) = mesi_costs(1000);
+    let (moesi_wb, moesi_inv) = moesi_costs(1000);
+    println!("\n== ablation: MESI vs MOESI per 1000 dirty-share+turn-off rounds ==");
+    println!("  MESI : {mesi_wb} writebacks, {mesi_inv} sharer-invalidation broadcasts");
+    println!("  MOESI: {moesi_wb} writebacks, {moesi_inv} sharer-invalidation broadcasts");
+
+    let mut g = c.benchmark_group("ablation_moesi");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    g.bench_function("mesi_round", |b| b.iter(|| mesi_costs(100)));
+    g.bench_function("moesi_round", |b| b.iter(|| moesi_costs(100)));
+    g.finish();
+}
+
+fn bench_edp_frontier(c: &mut Criterion) {
+    println!("\n== ablation: energy-delay frontier at 1MB (WATER-NS) ==");
+    let mut base_cfg = ExperimentConfig::paper(WorkloadSpec::water_ns(), Technique::Baseline, 1);
+    base_cfg.instructions_per_core = INSTR;
+    let base = run_experiment(&base_cfg);
+    for technique in Technique::paper_set() {
+        let mut cfg = base_cfg;
+        cfg.technique = technique;
+        let r = run_experiment(&cfg);
+        let m = TechniqueMetrics::compare(&base, &r);
+        println!("  {:14} EDP {:.3}", r.technique, relative_edp(&m));
+    }
+    let mut g = c.benchmark_group("ablation_edp");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.bench_function("frontier_point", |b| {
+        b.iter(|| {
+            let mut cfg = base_cfg;
+            cfg.technique = Technique::SelectiveDecay { decay_cycles: 128 * 1024 };
+            run_experiment(&cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decay_granularity,
+    bench_sensitivity,
+    bench_adaptive_vs_fixed,
+    bench_moesi_vs_mesi,
+    bench_edp_frontier
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! One criterion bench group per paper figure.
+//!
+//! Each group times the regeneration of its figure at a reduced scale
+//! (so `cargo bench` exercises every figure path end-to-end) and prints
+//! the figure once per group so the series are visible in the bench log.
+//! Full-scale tables are produced by the `repro` binary (see
+//! EXPERIMENTS.md).
+
+use cmpleak_core::figures::FigureSet;
+use cmpleak_core::sweep::{run_sweep, SweepConfig, SweepResults};
+use cmpleak_core::{Technique, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Reduced paper grid shared by all figure benches: 2 benchmarks (one
+/// per class), 2 sizes, 3 techniques, 150K instructions per core.
+fn shared_grid() -> &'static SweepResults {
+    static GRID: OnceLock<SweepResults> = OnceLock::new();
+    GRID.get_or_init(|| {
+        run_sweep(&SweepConfig {
+            benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+            sizes_mb: vec![1, 2],
+            techniques: vec![
+                Technique::Protocol,
+                Technique::Decay { decay_cycles: 64 * 1024 },
+                Technique::SelectiveDecay { decay_cycles: 64 * 1024 },
+            ],
+            instructions_per_core: 150_000,
+            seed: 42,
+            n_cores: 4,
+            threads: 0,
+        })
+    })
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let grid = shared_grid();
+    let figs = FigureSet::new(grid);
+
+    // Print each reproduced series once so `cargo bench` output contains
+    // the same rows the paper reports.
+    println!("{}", figs.fig3a());
+    println!("{}", figs.fig3b());
+    println!("{}", figs.fig4a());
+    println!("{}", figs.fig4b());
+    println!("{}", figs.fig5a());
+    println!("{}", figs.fig5b());
+    println!("{}", figs.fig6a(1));
+    println!("{}", figs.fig6b(1));
+
+    let mut g = c.benchmark_group("figures");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.bench_function("fig3a_occupation", |b| b.iter(|| figs.fig3a()));
+    g.bench_function("fig3b_miss_rate", |b| b.iter(|| figs.fig3b()));
+    g.bench_function("fig4a_bandwidth", |b| b.iter(|| figs.fig4a()));
+    g.bench_function("fig4b_amat", |b| b.iter(|| figs.fig4b()));
+    g.bench_function("fig5a_energy", |b| b.iter(|| figs.fig5a()));
+    g.bench_function("fig5b_ipc", |b| b.iter(|| figs.fig5b()));
+    g.bench_function("fig6a_energy_by_bench", |b| b.iter(|| figs.fig6a(1)));
+    g.bench_function("fig6b_ipc_by_bench", |b| b.iter(|| figs.fig6b(1)));
+    g.bench_function("headline", |b| b.iter(|| figs.headline(1)));
+    g.finish();
+
+    // Table I is pure code: bench its rendering too.
+    let mut t = c.benchmark_group("table1");
+    t.measurement_time(Duration::from_secs(2)).sample_size(20);
+    t.bench_function("render", |b| b.iter(cmpleak_coherence::legality::render_table));
+    t.finish();
+
+    // The underlying experiment (what one grid cell costs), per technique.
+    let mut e = c.benchmark_group("experiment_cell");
+    e.measurement_time(Duration::from_secs(8)).sample_size(10);
+    for technique in [
+        Technique::Baseline,
+        Technique::Protocol,
+        Technique::Decay { decay_cycles: 64 * 1024 },
+        Technique::SelectiveDecay { decay_cycles: 64 * 1024 },
+    ] {
+        let mut cfg = cmpleak_core::ExperimentConfig::paper(WorkloadSpec::mpeg2dec(), technique, 1);
+        cfg.instructions_per_core = 60_000;
+        e.bench_function(technique.name(), |b| {
+            b.iter(|| cmpleak_core::run_experiment(&cfg))
+        });
+    }
+    e.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Calibration probe: run a slice of the paper grid and print the raw
+//! shape metrics, to tune workload/power constants against the paper's
+//! reported numbers. Not part of the documented CLI (see `repro`).
+
+use cmpleak_core::experiment::{run_experiment, ExperimentConfig};
+use cmpleak_core::metrics::TechniqueMetrics;
+use cmpleak_core::{Technique, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let bench_name = args.get(2).map(|s| s.as_str()).unwrap_or("WATER-NS");
+    let spec = WorkloadSpec::by_name(bench_name).expect("unknown benchmark");
+    let sizes = [1usize, 2, 4, 8];
+    let techs = [
+        Technique::Protocol,
+        Technique::Decay { decay_cycles: 512 * 1024 },
+        Technique::Decay { decay_cycles: 64 * 1024 },
+        Technique::SelectiveDecay { decay_cycles: 512 * 1024 },
+        Technique::SelectiveDecay { decay_cycles: 64 * 1024 },
+    ];
+    println!("benchmark={} instr/core={}", spec.name, instr);
+    for size in sizes {
+        let t0 = Instant::now();
+        let mut cfg = ExperimentConfig::paper(spec, Technique::Baseline, size);
+        cfg.instructions_per_core = instr;
+        let base = run_experiment(&cfg);
+        println!(
+            "[{size}MB] baseline: cycles={} ipc={:.3} l2miss={:.4} amat={:.1} memMB={:.1} l2share={:.3} T={:.1}C ({:.1}s)",
+            base.stats.cycles,
+            base.stats.ipc(),
+            base.stats.l2_miss_rate(),
+            base.stats.amat(),
+            base.stats.mem_bytes as f64 / 1e6,
+            base.power.energy.l2_leakage_share(),
+            base.power.avg_l2_temp_c,
+            t0.elapsed().as_secs_f64()
+        );
+        for tech in techs {
+            let mut c = cfg;
+            c.technique = tech;
+            let r = run_experiment(&c);
+            let m = TechniqueMetrics::compare(&base, &r);
+            println!(
+                "  {:14} occ={:5.1}% miss={:.4} bw=+{:5.1}% amat=+{:5.1}% er={:5.1}% ipcloss={:5.2}%",
+                r.technique,
+                m.occupation * 100.0,
+                m.l2_miss_rate,
+                m.bandwidth_increase * 100.0,
+                m.amat_increase * 100.0,
+                m.energy_reduction * 100.0,
+                m.ipc_loss * 100.0
+            );
+        }
+    }
+}

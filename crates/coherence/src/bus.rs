@@ -1,0 +1,82 @@
+//! Snoopy-bus transaction vocabulary.
+//!
+//! The shared bus of the simulated CMP (Fig. 1 of the paper) carries
+//! these request kinds between the private L2 caches and toward the
+//! external memory interface. Timing (arbitration, pipelining, data
+//! beats) lives in `cmpleak-system`; this module only defines the
+//! protocol-visible vocabulary so the state machines and the system model
+//! agree on it.
+
+/// A coherence request placed on the shared bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusRequest {
+    /// Read a line with intent to share (load miss).
+    BusRd,
+    /// Read a line with intent to modify (store miss): all other copies
+    /// must be invalidated and the data returned.
+    BusRdX,
+    /// Upgrade an already-resident Shared line to Modified: invalidation
+    /// only, no data transfer.
+    BusUpgr,
+}
+
+impl BusRequest {
+    /// Whether this request invalidates other caches' copies.
+    #[inline]
+    pub fn invalidating(self) -> bool {
+        matches!(self, BusRequest::BusRdX | BusRequest::BusUpgr)
+    }
+
+    /// Whether a data transfer accompanies this request.
+    #[inline]
+    pub fn carries_data(self) -> bool {
+        matches!(self, BusRequest::BusRd | BusRequest::BusRdX)
+    }
+}
+
+/// What a snooping cache observed on the bus, as seen by its state
+/// machine. `BusUpgr` is indistinguishable from `BusRdX` to a snooper
+/// (both invalidate), so the snoop vocabulary is smaller than the request
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnoopKind {
+    /// Another cache is reading the line.
+    BusRd,
+    /// Another cache is acquiring exclusive ownership.
+    BusRdX,
+}
+
+impl From<BusRequest> for SnoopKind {
+    fn from(r: BusRequest) -> Self {
+        match r {
+            BusRequest::BusRd => SnoopKind::BusRd,
+            BusRequest::BusRdX | BusRequest::BusUpgr => SnoopKind::BusRdX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidating_requests() {
+        assert!(!BusRequest::BusRd.invalidating());
+        assert!(BusRequest::BusRdX.invalidating());
+        assert!(BusRequest::BusUpgr.invalidating());
+    }
+
+    #[test]
+    fn upgrades_carry_no_data() {
+        assert!(BusRequest::BusRd.carries_data());
+        assert!(BusRequest::BusRdX.carries_data());
+        assert!(!BusRequest::BusUpgr.carries_data());
+    }
+
+    #[test]
+    fn snoopers_see_upgrades_as_rdx() {
+        assert_eq!(SnoopKind::from(BusRequest::BusUpgr), SnoopKind::BusRdX);
+        assert_eq!(SnoopKind::from(BusRequest::BusRdX), SnoopKind::BusRdX);
+        assert_eq!(SnoopKind::from(BusRequest::BusRd), SnoopKind::BusRd);
+    }
+}

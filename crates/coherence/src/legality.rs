@@ -1,0 +1,206 @@
+//! Table I of the paper: when may an L2 line be turned off, and at what
+//! cost, across system configurations.
+//!
+//! The table compares three configurations — a uniprocessor whose L1 is
+//! write-back, a uniprocessor whose L1 is write-through, and the paper's
+//! target, a multiprocessor with private snoopy L2s and write-through
+//! L1s — against the state (clean/dirty) of the L2 line. This module
+//! encodes the table as data so that both the simulator and the
+//! reproduction harness (`repro table1`) derive from a single source of
+//! truth, and the integration tests can check the simulated system
+//! behaves exactly as each cell prescribes.
+
+/// The system configuration axis of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Single processor (or shared L2), write-back L1.
+    UniprocessorWriteBackL1,
+    /// Single processor (or shared L2), write-through L1.
+    UniprocessorWriteThroughL1,
+    /// Multiprocessor with private snoopy L2s, write-through L1.
+    MultiprocessorWriteThroughL1,
+}
+
+impl SystemKind {
+    /// All rows of the table, in the paper's column order.
+    pub const ALL: [SystemKind; 3] = [
+        SystemKind::UniprocessorWriteBackL1,
+        SystemKind::UniprocessorWriteThroughL1,
+        SystemKind::MultiprocessorWriteThroughL1,
+    ];
+
+    /// Human-readable label matching the table header.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::UniprocessorWriteBackL1 => "Single processor or shared L2, L1 Write-Back",
+            SystemKind::UniprocessorWriteThroughL1 => "Single processor or shared L2, L1 Write-Through",
+            SystemKind::MultiprocessorWriteThroughL1 => "Multiprocessor - private L2, L1 Write-Through",
+        }
+    }
+}
+
+/// The line-state axis of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineDirtiness {
+    /// The L2 copy matches memory (MESI Shared/Exclusive).
+    Clean,
+    /// The L2 copy is newer than memory (MESI Modified).
+    Dirty,
+}
+
+impl LineDirtiness {
+    /// Both rows, in the paper's order.
+    pub const ALL: [LineDirtiness; 2] = [LineDirtiness::Clean, LineDirtiness::Dirty];
+}
+
+/// What a turn-off requires in a given cell of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TurnOffRequirements {
+    /// The line may be turned off at all (always true in Table I; kept so
+    /// protocol variants with non-gateable states can reuse the type).
+    pub allowed: bool,
+    /// Gating must wait until no write to the line is pending in the L1
+    /// write buffer.
+    pub requires_no_pending_write: bool,
+    /// The freshest copy must be written back to memory first.
+    pub requires_writeback: bool,
+    /// The upper-level (L1) copy must be invalidated to preserve
+    /// inclusion.
+    pub requires_upper_invalidate: bool,
+}
+
+/// Look up a cell of Table I.
+pub fn turn_off_requirements(kind: SystemKind, dirt: LineDirtiness) -> TurnOffRequirements {
+    use LineDirtiness::*;
+    use SystemKind::*;
+    match (kind, dirt) {
+        // "Turn off" — the L1 copy (clean or dirty) either gets discarded
+        // or will re-allocate the line on its own write-back.
+        (UniprocessorWriteBackL1, Clean) => TurnOffRequirements { allowed: true, ..Default::default() },
+        // "Write back and turn off" — newest copy may be at either level;
+        // memory must be updated.
+        (UniprocessorWriteBackL1, Dirty) => TurnOffRequirements {
+            allowed: true,
+            requires_writeback: true,
+            ..Default::default()
+        },
+        // "Turn off, if no pending write".
+        (UniprocessorWriteThroughL1, Clean) => TurnOffRequirements {
+            allowed: true,
+            requires_no_pending_write: true,
+            ..Default::default()
+        },
+        // "Turn off, if no pending write, and write back".
+        (UniprocessorWriteThroughL1, Dirty) => TurnOffRequirements {
+            allowed: true,
+            requires_no_pending_write: true,
+            requires_writeback: true,
+            ..Default::default()
+        },
+        // "Turn off, if no pending write".
+        (MultiprocessorWriteThroughL1, Clean) => TurnOffRequirements {
+            allowed: true,
+            requires_no_pending_write: true,
+            ..Default::default()
+        },
+        // "Turn off, but invalidate the upper level" — inclusion must be
+        // maintained; §III also notes this transition causes a write-back.
+        (MultiprocessorWriteThroughL1, Dirty) => TurnOffRequirements {
+            allowed: true,
+            requires_no_pending_write: true,
+            requires_writeback: true,
+            requires_upper_invalidate: true,
+        },
+    }
+}
+
+/// Render the table in the paper's layout (used by `repro table1`).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table I: summary of the various situations related to line state and possibility of turning off\n\n",
+    );
+    for kind in SystemKind::ALL {
+        out.push_str(&format!("{}:\n", kind.label()));
+        for dirt in LineDirtiness::ALL {
+            let r = turn_off_requirements(kind, dirt);
+            let mut clauses: Vec<&str> = Vec::new();
+            if r.allowed {
+                clauses.push("turn off");
+            }
+            if r.requires_no_pending_write {
+                clauses.push("if no pending write");
+            }
+            if r.requires_writeback {
+                clauses.push("write back");
+            }
+            if r.requires_upper_invalidate {
+                clauses.push("invalidate the upper level");
+            }
+            out.push_str(&format!("  {:5?}: {}\n", dirt, clauses.join(", ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_allows_turn_off() {
+        for kind in SystemKind::ALL {
+            for dirt in LineDirtiness::ALL {
+                assert!(turn_off_requirements(kind, dirt).allowed, "{kind:?}/{dirt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_dirty_lines_write_back() {
+        for kind in SystemKind::ALL {
+            assert!(!turn_off_requirements(kind, LineDirtiness::Clean).requires_writeback);
+            assert!(turn_off_requirements(kind, LineDirtiness::Dirty).requires_writeback);
+        }
+    }
+
+    #[test]
+    fn write_through_systems_check_the_write_buffer() {
+        for kind in [SystemKind::UniprocessorWriteThroughL1, SystemKind::MultiprocessorWriteThroughL1] {
+            for dirt in LineDirtiness::ALL {
+                assert!(
+                    turn_off_requirements(kind, dirt).requires_no_pending_write,
+                    "{kind:?}/{dirt:?}: WT L1 implies a pending-write check"
+                );
+            }
+        }
+        // A write-back L1 has no write-through traffic to race with.
+        for dirt in LineDirtiness::ALL {
+            assert!(!turn_off_requirements(SystemKind::UniprocessorWriteBackL1, dirt)
+                .requires_no_pending_write);
+        }
+    }
+
+    #[test]
+    fn only_the_multiprocessor_dirty_cell_invalidates_upward() {
+        for kind in SystemKind::ALL {
+            for dirt in LineDirtiness::ALL {
+                let expect = kind == SystemKind::MultiprocessorWriteThroughL1
+                    && dirt == LineDirtiness::Dirty;
+                assert_eq!(
+                    turn_off_requirements(kind, dirt).requires_upper_invalidate,
+                    expect,
+                    "{kind:?}/{dirt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_covers_all_cells() {
+        let s = render_table();
+        assert_eq!(s.matches("turn off").count(), 6);
+        assert_eq!(s.matches("invalidate the upper level").count(), 1);
+        assert_eq!(s.matches("write back").count(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Coherence substrate: snoopy protocols extended with a line turn-off
+//! mechanism (Monchiero et al., ICPP 2009, §III).
+//!
+//! The centrepiece is [`mesi`] — the MESI state machine of the paper's
+//! Fig. 2, extended with the transient states **TC** (Transient Clean) and
+//! **TD** (Transient Dirty) used while a line is being invalidated in the
+//! upper (L1) cache level, and with external *turn-off* transitions that
+//! gate a line's power (Gated-Vdd) without violating coherence or
+//! inclusion.
+//!
+//! Companion modules:
+//!
+//! * [`legality`] — Table I of the paper: in which system configurations
+//!   (uniprocessor write-back L1, uniprocessor write-through L1,
+//!   multiprocessor write-through L1) a clean/dirty L2 line may be turned
+//!   off and at what cost,
+//! * [`policy`] — the paper's three techniques (*Protocol*, *Decay*,
+//!   *Selective Decay*) expressed as decisions layered over the turn-off
+//!   mechanism, plus the always-on *Baseline*,
+//! * [`moesi`] — the MOESI extension sketched in §III (an Owned line must
+//!   invalidate the other copies before it can be turned off),
+//! * [`bus`] — the snoopy-bus transaction vocabulary shared with
+//!   `cmpleak-system`.
+
+pub mod bus;
+pub mod legality;
+pub mod mesi;
+pub mod moesi;
+pub mod policy;
+
+pub use bus::BusRequest;
+pub use legality::{turn_off_requirements, LineDirtiness, SystemKind, TurnOffRequirements};
+pub use mesi::{Event, MesiState, SnoopContext, Transition};
+pub use policy::{DecayArming, Technique};

@@ -1,0 +1,543 @@
+//! The MESI snoopy protocol extended with a Gated-Vdd turn-off mechanism
+//! — the state machine of Fig. 2 in the paper.
+//!
+//! # States
+//!
+//! Beyond the stationary **M/E/S/I** states, two transient states model a
+//! line whose copy in the upper (L1) level is being invalidated:
+//!
+//! * **TC — Transient Clean**: a clean (Shared or Exclusive) line on its
+//!   way to Invalid,
+//! * **TD — Transient Dirty**: a Modified line on its way to Invalid.
+//!
+//! Both carry the *reason* the line is leaving ([`PendingInval`]): a
+//! snooped `BusRdX` from another cache, or an external **turn-off
+//! signal** raised by the decay logic / leakage policy. The distinction
+//! matters at completion time ([`Event::Grant`]): a protocol invalidation
+//! is an opportunity the *Protocol* technique may exploit to gate the
+//! line, while a turn-off-initiated transition always gates.
+//!
+//! # Why the transients exist
+//!
+//! The simulated L1 is write-through, so the L2 always holds current
+//! data; the transients are **not** about data freshness. They exist
+//! because a line may not be power-gated while the L1 still holds a copy
+//! (inclusion: later snoops could no longer reach that copy) or while a
+//! write to it is pending in the L1 write buffer (the write would land on
+//! a gated line and be lost). Gating therefore waits for the upper-level
+//! invalidation to be acknowledged. This matches the paper: "the turn-off
+//! signal may trigger a state transition only from a 'stationary' state",
+//! and Table I's "turn off, if no pending write" conditions.
+//!
+//! All externally visible actions of a turn-off (the write-back of a
+//! Modified line, data supply to a snooper) are emitted when the
+//! transient is *entered*; the bus serialises them, so a line sitting in
+//! TC/TD is logically dead and ignores further snoops.
+
+use crate::bus::{BusRequest, SnoopKind};
+
+/// Why a line is in a transient (TC/TD) state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PendingInval {
+    /// Another cache's BusRdX/BusUpgr invalidated us; the upper level is
+    /// being cleaned up. Whether the line is *gated* on completion is the
+    /// leakage policy's decision (`protocol_invalidation`).
+    SnoopRdX,
+    /// The leakage technique raised the turn-off signal; the line gates
+    /// unconditionally on completion.
+    TurnOff,
+}
+
+/// Coherence state of one L2 line (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Dirty exclusive owner.
+    Modified,
+    /// Clean exclusive.
+    Exclusive,
+    /// Clean, possibly replicated.
+    Shared,
+    /// Not present (and, under a gating policy, possibly powered off).
+    Invalid,
+    /// Transient Clean: S/E line awaiting upper-level invalidation.
+    TransientClean(PendingInval),
+    /// Transient Dirty: M line awaiting upper-level invalidation.
+    TransientDirty(PendingInval),
+}
+
+impl MesiState {
+    /// Stationary states may accept processor events, snoops and turn-off
+    /// signals; transient states only accept [`Event::Grant`].
+    #[inline]
+    pub fn is_stationary(self) -> bool {
+        matches!(
+            self,
+            MesiState::Modified | MesiState::Exclusive | MesiState::Shared | MesiState::Invalid
+        )
+    }
+
+    /// Whether the line currently holds valid data.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether the line holds data newer than memory.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::TransientDirty(_))
+    }
+
+    /// Short display name matching the paper's figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            MesiState::Modified => "M",
+            MesiState::Exclusive => "E",
+            MesiState::Shared => "S",
+            MesiState::Invalid => "I",
+            MesiState::TransientClean(_) => "TC",
+            MesiState::TransientDirty(_) => "TD",
+        }
+    }
+}
+
+/// Input event to the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Local processor read reached the L2 (L1 miss, or L1 read-through).
+    PrRead,
+    /// Local processor write reached the L2 (write-through L1).
+    PrWrite,
+    /// A transaction by another cache was snooped on the bus.
+    Snoop(SnoopKind),
+    /// The leakage technique requests this line be turned off.
+    TurnOff,
+    /// The upper-level invalidation for a transient line completed.
+    Grant,
+}
+
+/// Per-transition context the controller supplies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnoopContext {
+    /// True if the upper-level (L1) cache currently holds a copy of the
+    /// line; determines whether leaving requires a TC/TD detour.
+    pub upper_has_copy: bool,
+    /// True if a write to the line is pending in the L1 write buffer
+    /// (Table I: gating must wait for it).
+    pub pending_write: bool,
+}
+
+impl SnoopContext {
+    /// Whether gating must be deferred through a transient state.
+    #[inline]
+    fn must_defer(self) -> bool {
+        self.upper_has_copy || self.pending_write
+    }
+}
+
+/// The effects of one transition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Transition {
+    /// New state, or `None` when the event leaves the state unchanged.
+    pub next: Option<MesiState>,
+    /// Bus request the controller must issue to complete a processor
+    /// event (e.g. `BusUpgr` for a write hit on Shared). Misses from
+    /// Invalid are issued by the controller via [`fill_state`] instead.
+    pub bus: Option<BusRequest>,
+    /// We supply the line on the bus (cache-to-cache flush).
+    pub supply_data: bool,
+    /// Memory must be updated with our data.
+    pub writeback: bool,
+    /// The upper level must invalidate its copy; a `Grant` follows.
+    pub invalidate_upper: bool,
+    /// We assert the shared wire in response to a snoop.
+    pub assert_shared: bool,
+    /// The line reached Invalid via the turn-off path: gate it now.
+    pub gate: bool,
+    /// The line reached Invalid because of a protocol invalidation; the
+    /// *Protocol* family of techniques gates on this.
+    pub protocol_invalidation: bool,
+    /// The event could not be accepted in this state (turn-off in a
+    /// transient, write to a transient line): the caller must retry once
+    /// the line is stationary.
+    pub deferred: bool,
+}
+
+impl Transition {
+    fn stay() -> Self {
+        Transition::default()
+    }
+
+    fn to(next: MesiState) -> Self {
+        Transition { next: Some(next), ..Transition::default() }
+    }
+
+    fn deferred() -> Self {
+        Transition { deferred: true, ..Transition::default() }
+    }
+}
+
+/// State a line fills into after winning the bus for a miss, per MESI:
+/// an exclusive (write) request fills to Modified; a read fills to Shared
+/// if any other cache asserted the shared wire, else to Exclusive.
+#[inline]
+pub fn fill_state(shared_wire: bool, exclusive: bool) -> MesiState {
+    if exclusive {
+        MesiState::Modified
+    } else if shared_wire {
+        MesiState::Shared
+    } else {
+        MesiState::Exclusive
+    }
+}
+
+/// Advance the state machine: `state` receives `event` under `ctx`.
+///
+/// The function is total: events that a real controller would never
+/// deliver in a given state (e.g. a processor read on an Invalid line —
+/// the controller turns that into a miss instead) return a no-op
+/// transition, and events that must wait return `deferred`.
+pub fn step(state: MesiState, event: Event, ctx: SnoopContext) -> Transition {
+    use Event::*;
+    use MesiState::*;
+
+    match (state, event) {
+        // ---- Modified ---------------------------------------------------
+        (Modified, PrRead) | (Modified, PrWrite) => Transition::stay(),
+        (Modified, Snoop(SnoopKind::BusRd)) => {
+            // Flush: supply the line, update memory, keep a Shared copy.
+            Transition {
+                supply_data: true,
+                writeback: true,
+                assert_shared: true,
+                ..Transition::to(Shared)
+            }
+        }
+        (Modified, Snoop(SnoopKind::BusRdX)) => {
+            // Supply and relinquish. The L1 copy (if any) must go too.
+            let base = Transition {
+                supply_data: true,
+                writeback: true,
+                ..Transition::default()
+            };
+            if ctx.must_defer() {
+                Transition {
+                    invalidate_upper: true,
+                    next: Some(TransientDirty(PendingInval::SnoopRdX)),
+                    ..base
+                }
+            } else {
+                Transition {
+                    protocol_invalidation: true,
+                    next: Some(Invalid),
+                    ..base
+                }
+            }
+        }
+        (Modified, TurnOff) => {
+            // Fig. 2: M --Turn-off--> TD, write-back, invalidate upper,
+            // gate on Grant. Without an upper copy the detour is skipped.
+            if ctx.must_defer() {
+                Transition {
+                    writeback: true,
+                    invalidate_upper: true,
+                    ..Transition::to(TransientDirty(PendingInval::TurnOff))
+                }
+            } else {
+                Transition { writeback: true, gate: true, ..Transition::to(Invalid) }
+            }
+        }
+
+        // ---- Exclusive --------------------------------------------------
+        (Exclusive, PrRead) => Transition::stay(),
+        (Exclusive, PrWrite) => Transition::to(Modified), // silent upgrade
+        (Exclusive, Snoop(SnoopKind::BusRd)) => {
+            Transition { assert_shared: true, ..Transition::to(Shared) }
+        }
+        (Exclusive, Snoop(SnoopKind::BusRdX)) => clean_invalidate(ctx, PendingInval::SnoopRdX),
+        (Exclusive, TurnOff) => clean_invalidate(ctx, PendingInval::TurnOff),
+
+        // ---- Shared -----------------------------------------------------
+        (Shared, PrRead) => Transition::stay(),
+        (Shared, PrWrite) => {
+            // Needs the bus: invalidate the other copies. The controller
+            // completes the upgrade with `fill_state(_, true)` (or a
+            // direct move to Modified) when the BusUpgr wins arbitration.
+            Transition { bus: Some(BusRequest::BusUpgr), ..Transition::stay() }
+        }
+        (Shared, Snoop(SnoopKind::BusRd)) => {
+            Transition { assert_shared: true, ..Transition::stay() }
+        }
+        (Shared, Snoop(SnoopKind::BusRdX)) => clean_invalidate(ctx, PendingInval::SnoopRdX),
+        (Shared, TurnOff) => clean_invalidate(ctx, PendingInval::TurnOff),
+
+        // ---- Invalid ----------------------------------------------------
+        // Misses are issued by the controller (MSHR + bus arbitration +
+        // `fill_state`); snoops and turn-offs on an Invalid line are
+        // no-ops (gating an already-invalid line needs no protocol work).
+        (Invalid, PrRead) | (Invalid, PrWrite) => Transition::stay(),
+        (Invalid, Snoop(_)) => Transition::stay(),
+        (Invalid, TurnOff) => Transition { gate: true, ..Transition::stay() },
+
+        // ---- Transients -------------------------------------------------
+        // All bus-visible effects were emitted on entry; the line is
+        // logically dead. Snoops are ignored; processor events and
+        // turn-offs must wait for the next stationary state (the paper:
+        // "if the line is in any transient state, it must wait").
+        (TransientClean(p), Grant) => {
+            let mut t = Transition::to(Invalid);
+            match p {
+                PendingInval::SnoopRdX => t.protocol_invalidation = true,
+                PendingInval::TurnOff => t.gate = true,
+            }
+            t
+        }
+        (TransientDirty(p), Grant) => {
+            let mut t = Transition::to(Invalid);
+            match p {
+                PendingInval::SnoopRdX => t.protocol_invalidation = true,
+                PendingInval::TurnOff => t.gate = true,
+            }
+            t
+        }
+        (TransientClean(_), Snoop(_)) | (TransientDirty(_), Snoop(_)) => Transition::stay(),
+        (TransientClean(_), _) | (TransientDirty(_), _) => Transition::deferred(),
+
+        // Grants only make sense in transients.
+        (_, Grant) => Transition::stay(),
+    }
+}
+
+/// Shared/Exclusive line leaving due to `reason`: detour through TC when
+/// the upper level must be cleaned up, else straight to Invalid. No data
+/// movement — clean lines are backed by memory.
+fn clean_invalidate(ctx: SnoopContext, reason: PendingInval) -> Transition {
+    use MesiState::*;
+    if ctx.must_defer() {
+        Transition {
+            invalidate_upper: true,
+            ..Transition::to(TransientClean(reason))
+        }
+    } else {
+        let mut t = Transition::to(Invalid);
+        match reason {
+            PendingInval::SnoopRdX => t.protocol_invalidation = true,
+            PendingInval::TurnOff => t.gate = true,
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SnoopKind;
+
+    const NO_UPPER: SnoopContext = SnoopContext { upper_has_copy: false, pending_write: false };
+    const UPPER: SnoopContext = SnoopContext { upper_has_copy: true, pending_write: false };
+    const PENDING_WR: SnoopContext = SnoopContext { upper_has_copy: false, pending_write: true };
+
+    fn next(t: &Transition) -> MesiState {
+        t.next.expect("transition must change state")
+    }
+
+    #[test]
+    fn fill_states_follow_mesi() {
+        assert_eq!(fill_state(false, false), MesiState::Exclusive);
+        assert_eq!(fill_state(true, false), MesiState::Shared);
+        assert_eq!(fill_state(false, true), MesiState::Modified);
+        assert_eq!(fill_state(true, true), MesiState::Modified);
+    }
+
+    #[test]
+    fn exclusive_write_upgrades_silently() {
+        let t = step(MesiState::Exclusive, Event::PrWrite, NO_UPPER);
+        assert_eq!(next(&t), MesiState::Modified);
+        assert!(t.bus.is_none());
+    }
+
+    #[test]
+    fn shared_write_requests_upgrade_on_bus() {
+        let t = step(MesiState::Shared, Event::PrWrite, NO_UPPER);
+        assert_eq!(t.bus, Some(BusRequest::BusUpgr));
+        assert!(t.next.is_none(), "upgrade completes at bus grant, not here");
+    }
+
+    #[test]
+    fn modified_flushes_and_shares_on_busrd() {
+        let t = step(MesiState::Modified, Event::Snoop(SnoopKind::BusRd), UPPER);
+        assert_eq!(next(&t), MesiState::Shared);
+        assert!(t.supply_data && t.writeback && t.assert_shared);
+        assert!(!t.invalidate_upper, "a read snoop does not evict the L1 copy");
+    }
+
+    #[test]
+    fn modified_supplies_and_dies_on_busrdx() {
+        let t = step(MesiState::Modified, Event::Snoop(SnoopKind::BusRdX), NO_UPPER);
+        assert_eq!(next(&t), MesiState::Invalid);
+        assert!(t.supply_data && t.writeback && t.protocol_invalidation);
+    }
+
+    #[test]
+    fn modified_busrdx_with_upper_copy_takes_td() {
+        let t = step(MesiState::Modified, Event::Snoop(SnoopKind::BusRdX), UPPER);
+        assert_eq!(next(&t), MesiState::TransientDirty(PendingInval::SnoopRdX));
+        assert!(t.supply_data && t.writeback && t.invalidate_upper);
+        let g = step(next(&t), Event::Grant, NO_UPPER);
+        assert_eq!(next(&g), MesiState::Invalid);
+        assert!(g.protocol_invalidation && !g.gate);
+    }
+
+    #[test]
+    fn modified_turnoff_writes_back_and_takes_td() {
+        let t = step(MesiState::Modified, Event::TurnOff, UPPER);
+        assert_eq!(next(&t), MesiState::TransientDirty(PendingInval::TurnOff));
+        assert!(t.writeback && t.invalidate_upper && !t.supply_data);
+        let g = step(next(&t), Event::Grant, NO_UPPER);
+        assert_eq!(next(&g), MesiState::Invalid);
+        assert!(g.gate && !g.protocol_invalidation);
+    }
+
+    #[test]
+    fn modified_turnoff_without_upper_copy_gates_directly() {
+        let t = step(MesiState::Modified, Event::TurnOff, NO_UPPER);
+        assert_eq!(next(&t), MesiState::Invalid);
+        assert!(t.writeback && t.gate && !t.invalidate_upper);
+    }
+
+    #[test]
+    fn clean_turnoff_gates_directly_without_upper_copy() {
+        for s in [MesiState::Exclusive, MesiState::Shared] {
+            let t = step(s, Event::TurnOff, NO_UPPER);
+            assert_eq!(next(&t), MesiState::Invalid);
+            assert!(t.gate && !t.writeback && !t.supply_data, "S/E turn-off is free");
+        }
+    }
+
+    #[test]
+    fn clean_turnoff_with_upper_copy_takes_tc() {
+        for s in [MesiState::Exclusive, MesiState::Shared] {
+            let t = step(s, Event::TurnOff, UPPER);
+            assert_eq!(next(&t), MesiState::TransientClean(PendingInval::TurnOff));
+            assert!(t.invalidate_upper && !t.writeback);
+            let g = step(next(&t), Event::Grant, NO_UPPER);
+            assert_eq!(next(&g), MesiState::Invalid);
+            assert!(g.gate);
+        }
+    }
+
+    #[test]
+    fn pending_write_defers_gating_like_an_upper_copy() {
+        // Table I: "turn off, if no pending write".
+        let t = step(MesiState::Shared, Event::TurnOff, PENDING_WR);
+        assert_eq!(next(&t), MesiState::TransientClean(PendingInval::TurnOff));
+    }
+
+    #[test]
+    fn exclusive_demotes_to_shared_on_busrd() {
+        let t = step(MesiState::Exclusive, Event::Snoop(SnoopKind::BusRd), NO_UPPER);
+        assert_eq!(next(&t), MesiState::Shared);
+        assert!(t.assert_shared);
+    }
+
+    #[test]
+    fn shared_invalidates_on_busrdx() {
+        let t = step(MesiState::Shared, Event::Snoop(SnoopKind::BusRdX), NO_UPPER);
+        assert_eq!(next(&t), MesiState::Invalid);
+        assert!(t.protocol_invalidation && !t.gate);
+    }
+
+    #[test]
+    fn turnoff_in_transient_is_deferred() {
+        for s in [
+            MesiState::TransientClean(PendingInval::SnoopRdX),
+            MesiState::TransientDirty(PendingInval::TurnOff),
+        ] {
+            let t = step(s, Event::TurnOff, NO_UPPER);
+            assert!(t.deferred, "turn-off must wait for a stationary state");
+            assert!(t.next.is_none());
+        }
+    }
+
+    #[test]
+    fn snoops_on_transients_are_ignored() {
+        let s = MesiState::TransientDirty(PendingInval::TurnOff);
+        for k in [SnoopKind::BusRd, SnoopKind::BusRdX] {
+            let t = step(s, Event::Snoop(k), NO_UPPER);
+            assert!(t.next.is_none() && !t.deferred && !t.supply_data);
+        }
+    }
+
+    #[test]
+    fn turnoff_on_invalid_line_just_gates() {
+        let t = step(MesiState::Invalid, Event::TurnOff, NO_UPPER);
+        assert!(t.gate);
+        assert!(t.next.is_none());
+    }
+
+    #[test]
+    fn invalid_ignores_snoops() {
+        for k in [SnoopKind::BusRd, SnoopKind::BusRdX] {
+            let t = step(MesiState::Invalid, Event::Snoop(k), UPPER);
+            assert_eq!(t, Transition::stay());
+        }
+    }
+
+    #[test]
+    fn stationary_classification() {
+        assert!(MesiState::Modified.is_stationary());
+        assert!(MesiState::Invalid.is_stationary());
+        assert!(!MesiState::TransientClean(PendingInval::TurnOff).is_stationary());
+        assert!(!MesiState::TransientDirty(PendingInval::SnoopRdX).is_stationary());
+    }
+
+    #[test]
+    fn dirtiness_classification() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(MesiState::TransientDirty(PendingInval::TurnOff).is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+    }
+
+    /// Exhaustive safety sweep: no transition from a clean state ever
+    /// claims to write back or supply data, and every path into Invalid
+    /// is flagged as either a gate or a protocol invalidation (never
+    /// both).
+    #[test]
+    fn safety_sweep_all_stationary_transitions() {
+        let states = [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid];
+        let events = [
+            Event::PrRead,
+            Event::PrWrite,
+            Event::Snoop(SnoopKind::BusRd),
+            Event::Snoop(SnoopKind::BusRdX),
+            Event::TurnOff,
+        ];
+        let ctxs = [NO_UPPER, UPPER, PENDING_WR];
+        for s in states {
+            for e in events {
+                for c in ctxs {
+                    let t = step(s, e, c);
+                    if !s.is_dirty() && s != MesiState::Invalid {
+                        assert!(!t.writeback, "{s:?} {e:?}: clean lines never write back");
+                    }
+                    if t.next == Some(MesiState::Invalid) && s != MesiState::Invalid {
+                        assert!(
+                            t.gate ^ t.protocol_invalidation,
+                            "{s:?} {e:?}: exactly one invalidation reason"
+                        );
+                    }
+                    if t.invalidate_upper {
+                        assert!(
+                            matches!(
+                                t.next,
+                                Some(MesiState::TransientClean(_)) | Some(MesiState::TransientDirty(_))
+                            ),
+                            "{s:?} {e:?}: upper invalidation implies a transient"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

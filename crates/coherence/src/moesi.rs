@@ -1,0 +1,212 @@
+//! MOESI extension of the turn-off mechanism.
+//!
+//! §III of the paper notes the mechanism "may be easily extended to any
+//! coherence protocol, of course taking care of the different semantic of
+//! the states. For example, considering the Owned state of the MOESI,
+//! other copies must be invalidated before a line is turned off."
+//!
+//! MOESI adds **Owned**: a dirty line that other caches share. The owner
+//! supplies data on snoops *without* updating memory (that is the point
+//! of the state — dirty sharing avoids write-back traffic). Turning off
+//! an Owned line is therefore the most expensive turn-off in the
+//! protocol family: memory must be updated **and** the other Shared
+//! copies must be invalidated first (they would otherwise keep reading a
+//! line whose owner — the only agent responsible for eventually writing
+//! it back — has vanished).
+//!
+//! This module provides a stationary-state transition function mirroring
+//! [`crate::mesi`]; the upper-level (TC/TD) handling is identical and
+//! shared with the MESI controller, so it is not duplicated here.
+
+use crate::bus::SnoopKind;
+
+/// Coherence state of one L2 line under MOESI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoesiState {
+    /// Dirty, exclusive.
+    Modified,
+    /// Dirty, shared — this cache owns the only up-to-date copy and
+    /// services snoops for it.
+    Owned,
+    /// Clean, exclusive.
+    Exclusive,
+    /// Clean or dirty-elsewhere, replicated.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+impl MoesiState {
+    /// Whether this state holds data newer than memory.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Owned)
+    }
+
+    /// Whether the line holds valid data.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, MoesiState::Invalid)
+    }
+}
+
+/// Effects of a MOESI transition (superset of the MESI effects that
+/// matter for turn-off studies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoesiTransition {
+    /// New state, or `None` to stay.
+    pub next: Option<MoesiState>,
+    /// This cache supplies the line on the bus.
+    pub supply_data: bool,
+    /// Memory must be updated.
+    pub writeback: bool,
+    /// Other caches' copies must be invalidated (extra bus transaction)
+    /// before the transition completes — the Owned turn-off cost.
+    pub invalidate_other_copies: bool,
+    /// We assert the shared wire.
+    pub assert_shared: bool,
+    /// Line is gated after this transition.
+    pub gate: bool,
+    /// Line left because of another cache's invalidating request.
+    pub protocol_invalidation: bool,
+}
+
+/// Events relevant to the turn-off study (processor write upgrades etc.
+/// follow standard MOESI and are omitted — the simulator uses MESI; this
+/// model exists for the protocol-extension analysis and its benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoesiEvent {
+    /// Another cache reads the line.
+    Snoop(SnoopKind),
+    /// The leakage technique requests a turn-off.
+    TurnOff,
+}
+
+/// Advance a stationary MOESI line.
+pub fn step(state: MoesiState, event: MoesiEvent) -> MoesiTransition {
+    use MoesiEvent::*;
+    use MoesiState::*;
+    match (state, event) {
+        // Dirty sharing: the owner keeps servicing reads without
+        // write-backs — this is what MESI's M --BusRd--> S + writeback
+        // path avoids under MOESI.
+        (Modified, Snoop(SnoopKind::BusRd)) => MoesiTransition {
+            next: Some(Owned),
+            supply_data: true,
+            assert_shared: true,
+            ..Default::default()
+        },
+        (Owned, Snoop(SnoopKind::BusRd)) => MoesiTransition {
+            supply_data: true,
+            assert_shared: true,
+            ..Default::default()
+        },
+        (Exclusive, Snoop(SnoopKind::BusRd)) => MoesiTransition {
+            next: Some(Shared),
+            assert_shared: true,
+            ..Default::default()
+        },
+        (Shared, Snoop(SnoopKind::BusRd)) => {
+            MoesiTransition { assert_shared: true, ..Default::default() }
+        }
+        (Invalid, Snoop(SnoopKind::BusRd)) => MoesiTransition::default(),
+
+        // Invalidating snoops: dirty states supply data.
+        (Modified, Snoop(SnoopKind::BusRdX)) | (Owned, Snoop(SnoopKind::BusRdX)) => {
+            MoesiTransition {
+                next: Some(Invalid),
+                supply_data: true,
+                writeback: true,
+                protocol_invalidation: true,
+                ..Default::default()
+            }
+        }
+        (Exclusive, Snoop(SnoopKind::BusRdX)) | (Shared, Snoop(SnoopKind::BusRdX)) => {
+            MoesiTransition {
+                next: Some(Invalid),
+                protocol_invalidation: true,
+                ..Default::default()
+            }
+        }
+        (Invalid, Snoop(SnoopKind::BusRdX)) => MoesiTransition::default(),
+
+        // Turn-off costs by state semantics (§III):
+        //  M — write back (as in MESI);
+        //  O — write back AND invalidate the other copies first;
+        //  E/S — free;
+        //  I — trivially gate.
+        (Modified, TurnOff) => MoesiTransition {
+            next: Some(Invalid),
+            writeback: true,
+            gate: true,
+            ..Default::default()
+        },
+        (Owned, TurnOff) => MoesiTransition {
+            next: Some(Invalid),
+            writeback: true,
+            invalidate_other_copies: true,
+            gate: true,
+            ..Default::default()
+        },
+        (Exclusive, TurnOff) | (Shared, TurnOff) => MoesiTransition {
+            next: Some(Invalid),
+            gate: true,
+            ..Default::default()
+        },
+        (Invalid, TurnOff) => MoesiTransition { gate: true, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busrd_on_modified_creates_owner_without_writeback() {
+        let t = step(MoesiState::Modified, MoesiEvent::Snoop(SnoopKind::BusRd));
+        assert_eq!(t.next, Some(MoesiState::Owned));
+        assert!(t.supply_data && !t.writeback, "dirty sharing avoids the write-back");
+    }
+
+    #[test]
+    fn owner_services_reads_in_place() {
+        let t = step(MoesiState::Owned, MoesiEvent::Snoop(SnoopKind::BusRd));
+        assert!(t.next.is_none());
+        assert!(t.supply_data && t.assert_shared);
+    }
+
+    #[test]
+    fn owned_turn_off_is_the_most_expensive() {
+        let t = step(MoesiState::Owned, MoesiEvent::TurnOff);
+        assert!(t.writeback && t.invalidate_other_copies && t.gate);
+        // No other state needs the copy-invalidation broadcast.
+        for s in [MoesiState::Modified, MoesiState::Exclusive, MoesiState::Shared, MoesiState::Invalid] {
+            assert!(!step(s, MoesiEvent::TurnOff).invalidate_other_copies, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn clean_turn_offs_are_free() {
+        for s in [MoesiState::Exclusive, MoesiState::Shared] {
+            let t = step(s, MoesiEvent::TurnOff);
+            assert!(t.gate && !t.writeback && !t.supply_data);
+        }
+    }
+
+    #[test]
+    fn dirty_states_flush_on_invalidating_snoop() {
+        for s in [MoesiState::Modified, MoesiState::Owned] {
+            let t = step(s, MoesiEvent::Snoop(SnoopKind::BusRdX));
+            assert!(t.supply_data && t.writeback && t.protocol_invalidation);
+            assert_eq!(t.next, Some(MoesiState::Invalid));
+        }
+    }
+
+    #[test]
+    fn dirtiness_and_validity_classification() {
+        assert!(MoesiState::Owned.is_dirty());
+        assert!(MoesiState::Modified.is_dirty());
+        assert!(!MoesiState::Shared.is_dirty());
+        assert!(!MoesiState::Invalid.is_valid());
+    }
+}

@@ -1,0 +1,187 @@
+//! Exhaustive state-space exploration of the MESI+turn-off machine and
+//! the MOESI extension: every state reachable from Invalid is explored
+//! under every (event, context) pair, and global protocol properties are
+//! checked on the full reachable graph — a miniature model check of the
+//! paper's Fig. 2.
+
+use cmpleak_coherence::bus::SnoopKind;
+use cmpleak_coherence::mesi::{fill_state, step, Event, MesiState, SnoopContext};
+use cmpleak_coherence::moesi;
+use cmpleak_coherence::policy::{DecayArming, Technique};
+use std::collections::{HashSet, VecDeque};
+
+fn all_events() -> Vec<Event> {
+    vec![
+        Event::PrRead,
+        Event::PrWrite,
+        Event::Snoop(SnoopKind::BusRd),
+        Event::Snoop(SnoopKind::BusRdX),
+        Event::TurnOff,
+        Event::Grant,
+    ]
+}
+
+fn all_ctxs() -> Vec<SnoopContext> {
+    let mut v = Vec::new();
+    for upper in [false, true] {
+        for pending in [false, true] {
+            v.push(SnoopContext { upper_has_copy: upper, pending_write: pending });
+        }
+    }
+    v
+}
+
+/// All states reachable from the three fill states + Invalid.
+fn reachable_states() -> HashSet<MesiState> {
+    let mut seen: HashSet<MesiState> = HashSet::new();
+    let mut queue: VecDeque<MesiState> = VecDeque::new();
+    for s in [
+        MesiState::Invalid,
+        fill_state(false, false),
+        fill_state(true, false),
+        fill_state(false, true),
+    ] {
+        if seen.insert(s) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for ev in all_events() {
+            for ctx in all_ctxs() {
+                if let Some(n) = step(s, ev, ctx).next {
+                    if seen.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn reachable_space_is_exactly_fig2() {
+    let states = reachable_states();
+    // M, E, S, I + TC/TD with both pending reasons = 8 states.
+    assert_eq!(states.len(), 8, "reachable: {states:?}");
+    assert!(states.contains(&MesiState::Modified));
+    assert!(states.contains(&MesiState::Exclusive));
+    assert!(states.contains(&MesiState::Shared));
+    assert!(states.contains(&MesiState::Invalid));
+    assert_eq!(states.iter().filter(|s| !s.is_stationary()).count(), 4);
+}
+
+#[test]
+fn every_transient_resolves_in_one_grant() {
+    for s in reachable_states().into_iter().filter(|s| !s.is_stationary()) {
+        let t = step(s, Event::Grant, SnoopContext::default());
+        assert_eq!(t.next, Some(MesiState::Invalid), "{s:?} must resolve to Invalid");
+        assert!(t.gate || t.protocol_invalidation, "{s:?} grant carries its reason");
+    }
+}
+
+#[test]
+fn no_transition_leaves_the_reachable_space() {
+    let states = reachable_states();
+    for &s in &states {
+        for ev in all_events() {
+            for ctx in all_ctxs() {
+                if let Some(n) = step(s, ev, ctx).next {
+                    assert!(states.contains(&n), "{s:?} --{ev:?}--> {n:?} escapes");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn writebacks_only_from_dirty_states_everywhere() {
+    for s in reachable_states() {
+        for ev in all_events() {
+            for ctx in all_ctxs() {
+                let t = step(s, ev, ctx);
+                if t.writeback {
+                    assert!(s.is_dirty(), "{s:?} --{ev:?} emitted a write-back");
+                }
+                if t.supply_data {
+                    assert!(s.is_dirty(), "{s:?} --{ev:?} supplied data");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_wire_only_asserted_by_holders() {
+    for s in reachable_states() {
+        for ev in all_events() {
+            for ctx in all_ctxs() {
+                let t = step(s, ev, ctx);
+                if t.assert_shared {
+                    assert!(s.is_valid() && s.is_stationary(), "{s:?} asserted shared");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn moesi_state_space_is_closed_and_safe() {
+    use moesi::{step as mstep, MoesiEvent, MoesiState};
+    let states = [
+        MoesiState::Modified,
+        MoesiState::Owned,
+        MoesiState::Exclusive,
+        MoesiState::Shared,
+        MoesiState::Invalid,
+    ];
+    let events = [
+        MoesiEvent::Snoop(SnoopKind::BusRd),
+        MoesiEvent::Snoop(SnoopKind::BusRdX),
+        MoesiEvent::TurnOff,
+    ];
+    for s in states {
+        for ev in events {
+            let t = mstep(s, ev);
+            if let Some(n) = t.next {
+                assert!(states.contains(&n), "MOESI {s:?} --{ev:?}--> {n:?}");
+            }
+            if t.writeback || t.supply_data {
+                assert!(s.is_dirty(), "MOESI {s:?} moved data while clean");
+            }
+            if t.invalidate_other_copies {
+                assert_eq!(s, MoesiState::Owned, "only Owned broadcasts invalidations");
+            }
+        }
+    }
+}
+
+#[test]
+fn techniques_agree_with_the_machine_on_arming() {
+    // Selective Decay must arm exactly the states whose turn-off is free
+    // (no write-back): the machine and the policy must agree.
+    let sd = Technique::SelectiveDecay { decay_cycles: 1 << 16 };
+    for s in [MesiState::Modified, MesiState::Exclusive, MesiState::Shared] {
+        let t = step(s, Event::TurnOff, SnoopContext::default());
+        let free = !t.writeback;
+        match sd.arming_on_enter(s) {
+            DecayArming::Arm => assert!(free, "{s:?} armed but turn-off costs a write-back"),
+            DecayArming::Disarm => assert!(!free, "{s:?} disarmed but turn-off is free"),
+            DecayArming::Unchanged => panic!("SD must decide for {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn turn_off_cost_ordering_matches_the_paper() {
+    // §III: "turning off a Modified line generates a write-back and
+    // invalidation in the upper level. On the other hand,
+    // Shared/Exclusive lines don't incur in any penalty."
+    let ctx = SnoopContext { upper_has_copy: true, pending_write: false };
+    let m = step(MesiState::Modified, Event::TurnOff, ctx);
+    assert!(m.writeback && m.invalidate_upper);
+    for s in [MesiState::Shared, MesiState::Exclusive] {
+        let t = step(s, Event::TurnOff, SnoopContext::default());
+        assert!(!t.writeback && !t.invalidate_upper && t.gate);
+    }
+}

@@ -1,0 +1,132 @@
+//! Run one (benchmark, technique, cache size) experiment.
+
+use cmpleak_coherence::Technique;
+use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
+use cmpleak_system::{run_simulation, CmpConfig, SimStats};
+use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+use cmpleak_cpu::Workload;
+
+/// Configuration of a single experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Synthetic benchmark to run on every core.
+    pub benchmark: WorkloadSpec,
+    /// Leakage technique under test.
+    pub technique: Technique,
+    /// Total L2 capacity (MB) across the private caches (the paper's
+    /// 1/2/4/8 axis).
+    pub total_l2_mb: usize,
+    /// Instructions per core (fixed work across techniques).
+    pub instructions_per_core: u64,
+    /// Workload seed (whole run is deterministic in this).
+    pub seed: u64,
+    /// Number of cores (4 in the paper).
+    pub n_cores: usize,
+    /// Power-model parameters.
+    pub power: PowerParams,
+}
+
+impl ExperimentConfig {
+    /// Paper defaults: 4 cores, 6M instructions per core, seed 42.
+    pub fn paper(benchmark: WorkloadSpec, technique: Technique, total_l2_mb: usize) -> Self {
+        Self {
+            benchmark,
+            technique,
+            total_l2_mb,
+            instructions_per_core: 6_000_000,
+            seed: 42,
+            n_cores: 4,
+            power: PowerParams::default(),
+        }
+    }
+
+    /// Derive the simulator configuration.
+    pub fn cmp_config(&self) -> CmpConfig {
+        let mut cfg = CmpConfig::paper_system(self.total_l2_mb, self.technique);
+        cfg.n_cores = self.n_cores;
+        cfg.l2.size_bytes = self.total_l2_mb * 1024 * 1024 / self.n_cores;
+        cfg.instructions_per_core = self.instructions_per_core;
+        cfg
+    }
+}
+
+/// Everything measured for one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Technique name (paper label).
+    pub technique: String,
+    /// Total L2 in MB.
+    pub total_l2_mb: usize,
+    /// Raw simulator statistics.
+    pub stats: SimStats,
+    /// Energy/thermal evaluation.
+    pub power: PowerReport,
+}
+
+/// Run the experiment: build per-core workloads, simulate, integrate
+/// energy.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let cmp = cfg.cmp_config();
+    let workloads: Vec<Box<dyn Workload>> = (0..cfg.n_cores)
+        .map(|c| {
+            Box::new(GenerationalWorkload::new(cfg.benchmark, c, cfg.n_cores, cfg.seed))
+                as Box<dyn Workload>
+        })
+        .collect();
+    let bank_bytes = cmp.l2.size_bytes;
+    let stats = run_simulation(cmp, workloads);
+    let power = evaluate_energy(cfg.power, cfg.technique, cfg.n_cores, bank_bytes, &stats);
+    ExperimentResult {
+        benchmark: cfg.benchmark.name,
+        technique: cfg.technique.name(),
+        total_l2_mb: cfg.total_l2_mb,
+        stats,
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(technique: Technique) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper(WorkloadSpec::mpeg2dec(), technique, 1);
+        cfg.instructions_per_core = 60_000;
+        cfg
+    }
+
+    #[test]
+    fn experiment_runs_and_labels_itself() {
+        let r = run_experiment(&quick(Technique::Protocol));
+        assert_eq!(r.benchmark, "mpeg2dec");
+        assert_eq!(r.technique, "protocol");
+        assert_eq!(r.total_l2_mb, 1);
+        assert_eq!(r.stats.instructions, 4 * 60_000);
+        assert!(r.power.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn baseline_occupation_is_one_and_protocol_below() {
+        let base = run_experiment(&quick(Technique::Baseline));
+        let prot = run_experiment(&quick(Technique::Protocol));
+        assert!((base.stats.occupation_rate() - 1.0).abs() < 1e-12);
+        assert!(prot.stats.occupation_rate() < 1.0);
+    }
+
+    #[test]
+    fn cmp_config_splits_capacity() {
+        let cfg = quick(Technique::Baseline).cmp_config();
+        assert_eq!(cfg.l2.size_bytes * 4, 1024 * 1024);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = run_experiment(&quick(Technique::Decay { decay_cycles: 64 * 1024 }));
+        let b = run_experiment(&quick(Technique::Decay { decay_cycles: 64 * 1024 }));
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.l2_on_line_cycles, b.stats.l2_on_line_cycles);
+        assert_eq!(a.stats.mem_bytes, b.stats.mem_bytes);
+    }
+}

@@ -1,0 +1,298 @@
+//! Builders regenerating the paper's figures from sweep results.
+//!
+//! Every figure of §VI is a table here: rows are the seven technique
+//! configurations, columns are total cache sizes (Figs. 3–5, averaged
+//! over the benchmark suite) or benchmarks (Fig. 6, at 4 MB). Rendering
+//! is plain text so `repro` output can be diffed into EXPERIMENTS.md.
+
+use crate::metrics::TechniqueMetrics;
+use crate::sweep::SweepResults;
+use serde::Serialize;
+
+/// Value formatting for a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Unit {
+    /// Render as a percentage (occupation, increases, reductions, loss).
+    Percent,
+    /// Render as a raw rate with 4 decimals (miss rates).
+    Rate,
+}
+
+/// One reproduced figure as a labelled table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"fig3a"`.
+    pub id: &'static str,
+    /// Human title matching the paper caption.
+    pub title: &'static str,
+    /// Row labels (techniques).
+    pub rows: Vec<String>,
+    /// Column labels (sizes or benchmarks).
+    pub cols: Vec<String>,
+    /// `values[row][col]`.
+    pub values: Vec<Vec<f64>>,
+    /// Formatting.
+    pub unit: Unit,
+}
+
+impl Figure {
+    /// Value lookup by labels.
+    pub fn value(&self, row: &str, col: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.cols.iter().position(|x| x == col)?;
+        Some(self.values[r][c])
+    }
+}
+
+impl std::fmt::Display for Figure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} — {}", self.id, self.title)?;
+        let w = 14usize;
+        write!(f, "{:16}", "")?;
+        for c in &self.cols {
+            write!(f, "{c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (r, row) in self.rows.iter().enumerate() {
+            write!(f, "{row:16}")?;
+            for v in &self.values[r] {
+                match self.unit {
+                    Unit::Percent => write!(f, "{:>w$}", format!("{:.1}%", v * 100.0))?,
+                    Unit::Rate => write!(f, "{:>w$}", format!("{v:.4}"))?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// All figures derived from one sweep.
+#[derive(Debug, Clone)]
+pub struct FigureSet<'a> {
+    results: &'a SweepResults,
+    /// Technique labels in paper order (derived from the sweep).
+    techniques: Vec<String>,
+    sizes: Vec<usize>,
+}
+
+impl<'a> FigureSet<'a> {
+    /// Wrap sweep results.
+    pub fn new(results: &'a SweepResults) -> Self {
+        let mut techniques: Vec<String> = Vec::new();
+        let mut sizes: Vec<usize> = Vec::new();
+        for c in &results.cells {
+            if c.technique != "baseline" && !techniques.contains(&c.technique) {
+                techniques.push(c.technique.clone());
+            }
+            if !sizes.contains(&c.size_mb) {
+                sizes.push(c.size_mb);
+            }
+        }
+        sizes.sort_unstable();
+        Self { results, techniques, sizes }
+    }
+
+    fn by_size(
+        &self,
+        id: &'static str,
+        title: &'static str,
+        unit: Unit,
+        get: impl Fn(&TechniqueMetrics) -> f64,
+    ) -> Figure {
+        let mut values = Vec::new();
+        for t in &self.techniques {
+            let mut row = Vec::new();
+            for &s in &self.sizes {
+                let m = self
+                    .results
+                    .mean_over_benchmarks(t, s)
+                    .expect("sweep covers every (technique,size)");
+                row.push(get(&m));
+            }
+            values.push(row);
+        }
+        Figure {
+            id,
+            title,
+            rows: self.techniques.clone(),
+            cols: self.sizes.iter().map(|s| format!("{s}MB")).collect(),
+            values,
+            unit,
+        }
+    }
+
+    fn by_benchmark(
+        &self,
+        id: &'static str,
+        title: &'static str,
+        size_mb: usize,
+        unit: Unit,
+        get: impl Fn(&TechniqueMetrics) -> f64,
+    ) -> Figure {
+        let benches = self.results.benchmarks();
+        let mut values = Vec::new();
+        for t in &self.techniques {
+            let mut row = Vec::new();
+            for &b in &benches {
+                let cell = self
+                    .results
+                    .cell(b, t, size_mb)
+                    .expect("sweep covers every (benchmark,technique) at this size");
+                row.push(get(&cell.metrics));
+            }
+            values.push(row);
+        }
+        Figure {
+            id,
+            title,
+            rows: self.techniques.clone(),
+            cols: benches.iter().map(|b| b.to_string()).collect(),
+            values,
+            unit,
+        }
+    }
+
+    /// Fig. 3(a): L2 occupation rate.
+    pub fn fig3a(&self) -> Figure {
+        self.by_size("fig3a", "L2 occupation rate", Unit::Percent, |m| m.occupation)
+    }
+
+    /// Fig. 3(b): aggregate L2 miss rate.
+    pub fn fig3b(&self) -> Figure {
+        self.by_size("fig3b", "L2 miss rate", Unit::Rate, |m| m.l2_miss_rate)
+    }
+
+    /// Fig. 4(a): memory bandwidth increase vs. baseline.
+    pub fn fig4a(&self) -> Figure {
+        self.by_size("fig4a", "Memory bandwidth increase", Unit::Percent, |m| m.bandwidth_increase)
+    }
+
+    /// Fig. 4(b): AMAT increase vs. baseline.
+    pub fn fig4b(&self) -> Figure {
+        self.by_size("fig4b", "AMAT increase", Unit::Percent, |m| m.amat_increase)
+    }
+
+    /// Fig. 5(a): system energy reduction vs. baseline.
+    pub fn fig5a(&self) -> Figure {
+        self.by_size("fig5a", "Energy reduction", Unit::Percent, |m| m.energy_reduction)
+    }
+
+    /// Fig. 5(b): IPC loss vs. baseline.
+    pub fn fig5b(&self) -> Figure {
+        self.by_size("fig5b", "IPC loss", Unit::Percent, |m| m.ipc_loss)
+    }
+
+    /// Fig. 6(a): per-benchmark energy reduction at `size_mb` (paper: 4).
+    pub fn fig6a(&self, size_mb: usize) -> Figure {
+        self.by_benchmark("fig6a", "Energy reduction by benchmark", size_mb, Unit::Percent, |m| {
+            m.energy_reduction
+        })
+    }
+
+    /// Fig. 6(b): per-benchmark IPC loss at `size_mb` (paper: 4).
+    pub fn fig6b(&self, size_mb: usize) -> Figure {
+        self.by_benchmark("fig6b", "IPC loss by benchmark", size_mb, Unit::Percent, |m| m.ipc_loss)
+    }
+
+    /// The paper's headline comparison at one size: Protocol / Decay /
+    /// Selective Decay (decay families averaged over decay times),
+    /// reporting (energy reduction, IPC loss).
+    pub fn headline(&self, size_mb: usize) -> Vec<(String, f64, f64)> {
+        let families: [(&str, Box<dyn Fn(&str) -> bool>); 3] = [
+            ("Protocol", Box::new(|t: &str| t == "protocol")),
+            ("Decay", Box::new(|t: &str| t.starts_with("decay"))),
+            ("Selective Decay", Box::new(|t: &str| t.starts_with("sel_decay"))),
+        ];
+        families
+            .iter()
+            .map(|(name, pred)| {
+                let samples: Vec<TechniqueMetrics> = self
+                    .techniques
+                    .iter()
+                    .filter(|t| pred(t))
+                    .filter_map(|t| self.results.mean_over_benchmarks(t, size_mb))
+                    .collect();
+                let m = TechniqueMetrics::mean(&samples);
+                (name.to_string(), m.energy_reduction, m.ipc_loss)
+            })
+            .collect()
+    }
+
+    /// Every by-size figure, for `repro all`.
+    pub fn all_by_size(&self) -> Vec<Figure> {
+        vec![self.fig3a(), self.fig3b(), self.fig4a(), self.fig4b(), self.fig5a(), self.fig5b()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+    use cmpleak_coherence::Technique;
+    use cmpleak_workloads::WorkloadSpec;
+
+    fn small_results() -> SweepResults {
+        run_sweep(&SweepConfig {
+            benchmarks: vec![WorkloadSpec::mpeg2enc(), WorkloadSpec::water_ns()],
+            sizes_mb: vec![1, 2],
+            techniques: vec![
+                Technique::Protocol,
+                Technique::Decay { decay_cycles: 16 * 1024 },
+                Technique::SelectiveDecay { decay_cycles: 16 * 1024 },
+            ],
+            instructions_per_core: 30_000,
+            seed: 3,
+            n_cores: 2,
+            threads: 0,
+        })
+    }
+
+    #[test]
+    fn figures_have_full_shape() {
+        let res = small_results();
+        let figs = FigureSet::new(&res);
+        for fig in figs.all_by_size() {
+            assert_eq!(fig.rows.len(), 3, "{}", fig.id);
+            assert_eq!(fig.cols, vec!["1MB", "2MB"], "{}", fig.id);
+            for row in &fig.values {
+                assert_eq!(row.len(), 2);
+                for v in row {
+                    assert!(v.is_finite());
+                }
+            }
+        }
+        let f6 = figs.fig6a(1);
+        assert_eq!(f6.cols.len(), 2, "one column per benchmark");
+    }
+
+    #[test]
+    fn occupation_orders_decay_below_protocol() {
+        let res = small_results();
+        let figs = FigureSet::new(&res);
+        let occ = figs.fig3a();
+        let protocol = occ.value("protocol", "1MB").unwrap();
+        let decay = occ.value("decay16K", "1MB").unwrap();
+        assert!(decay < protocol, "decay {decay} must undercut protocol {protocol}");
+    }
+
+    #[test]
+    fn headline_reports_three_families() {
+        let res = small_results();
+        let figs = FigureSet::new(&res);
+        let h = figs.headline(1);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].0, "Protocol");
+        assert!(h.iter().all(|(_, er, loss)| er.is_finite() && loss.is_finite()));
+    }
+
+    #[test]
+    fn rendering_contains_labels_and_percents() {
+        let res = small_results();
+        let figs = FigureSet::new(&res);
+        let s = figs.fig5a().to_string();
+        assert!(s.contains("fig5a"));
+        assert!(s.contains("protocol"));
+        assert!(s.contains('%'));
+    }
+}

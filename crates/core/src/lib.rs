@@ -1,0 +1,38 @@
+//! `cmpleak-core` — the paper's contribution as a library.
+//!
+//! Reproduction of *Monchiero, Canal, González: "Using Coherence
+//! Information and Decay Techniques to Optimize L2 Cache Leakage in
+//! CMPs"* (ICPP 2009) on top of the workspace's substrates
+//! (`cmpleak-system` simulator, `cmpleak-power` energy/thermal models,
+//! `cmpleak-workloads` synthetic benchmarks).
+//!
+//! * [`experiment`] — one simulation + power evaluation
+//!   ([`run_experiment`]);
+//! * [`metrics`] — the paper's derived quantities (occupation rate, L2
+//!   miss rate, memory-bandwidth/AMAT increase, energy reduction, IPC
+//!   loss), always relative to the always-on baseline;
+//! * [`sweep`] — the full evaluation grid (benchmarks × cache sizes ×
+//!   techniques), farmed over worker threads, deterministic regardless
+//!   of thread count;
+//! * [`figures`] — builders that regenerate every figure of the paper's
+//!   §VI from sweep results, as printable tables;
+//! * [`adaptive`] — beyond-the-paper extensions: Kaxiras-style adaptive
+//!   per-line decay and AMC-style global adaptive decay, for the
+//!   ablation benches.
+//!
+//! The seven technique configurations of the paper are
+//! [`Technique::paper_set`]; the six benchmarks are
+//! [`WorkloadSpec::paper_suite`].
+
+pub mod adaptive;
+pub mod experiment;
+pub mod figures;
+pub mod metrics;
+pub mod sweep;
+
+pub use cmpleak_coherence::Technique;
+pub use cmpleak_workloads::{BenchClass, WorkloadSpec};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use figures::{Figure, FigureSet};
+pub use metrics::TechniqueMetrics;
+pub use sweep::{SweepCell, SweepConfig, SweepResults};

@@ -1,0 +1,170 @@
+//! The paper's derived metrics, always relative to the always-on
+//! baseline run of the same (benchmark, cache size).
+
+use crate::experiment::ExperimentResult;
+use serde::Serialize;
+
+/// One technique's metrics against its baseline — the quantities plotted
+/// in Figures 3–6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TechniqueMetrics {
+    /// L2 occupation rate (Fig. 3a): average fraction of time a line is
+    /// powered. Baseline ≡ 1.0.
+    pub occupation: f64,
+    /// Aggregate L2 miss rate (Fig. 3b).
+    pub l2_miss_rate: f64,
+    /// Technique-induced fraction of L2 accesses that miss (shadow-tag
+    /// decomposition; not a paper figure, used for analysis/tests).
+    pub induced_miss_rate: f64,
+    /// External-memory traffic increase vs. baseline (Fig. 4a),
+    /// as a fraction (0.5 = +50%).
+    pub bandwidth_increase: f64,
+    /// AMAT increase vs. baseline (Fig. 4b), as a fraction.
+    pub amat_increase: f64,
+    /// System energy reduction vs. baseline (Fig. 5a/6a), as a fraction
+    /// (negative = the technique *costs* energy).
+    pub energy_reduction: f64,
+    /// IPC loss vs. baseline (Fig. 5b/6b), as a fraction.
+    pub ipc_loss: f64,
+}
+
+impl TechniqueMetrics {
+    /// Derive all metrics for `tech` against `base`.
+    ///
+    /// # Panics
+    /// Panics if the two results are not the same benchmark and cache
+    /// size (comparing across cells is a bug).
+    pub fn compare(base: &ExperimentResult, tech: &ExperimentResult) -> Self {
+        assert_eq!(base.benchmark, tech.benchmark, "baseline mismatch");
+        assert_eq!(base.total_l2_mb, tech.total_l2_mb, "baseline mismatch");
+        assert_eq!(
+            base.stats.instructions, tech.stats.instructions,
+            "fixed-work comparison requires identical instruction counts"
+        );
+        let base_bytes = base.stats.mem_bytes.max(1) as f64;
+        let base_amat = base.stats.amat().max(1e-9);
+        let base_ipc = base.stats.ipc().max(1e-12);
+        let base_energy = base.power.energy.total_pj().max(1e-9);
+        Self {
+            occupation: tech.stats.occupation_rate(),
+            l2_miss_rate: tech.stats.l2_miss_rate(),
+            induced_miss_rate: tech.stats.l2_induced_miss_rate(),
+            bandwidth_increase: tech.stats.mem_bytes as f64 / base_bytes - 1.0,
+            amat_increase: tech.stats.amat() / base_amat - 1.0,
+            energy_reduction: 1.0 - tech.power.energy.total_pj() / base_energy,
+            ipc_loss: 1.0 - tech.stats.ipc() / base_ipc,
+        }
+    }
+
+    /// Baseline-vs-itself metrics (identity row in figures).
+    pub fn baseline_identity(base: &ExperimentResult) -> Self {
+        Self {
+            occupation: 1.0,
+            l2_miss_rate: base.stats.l2_miss_rate(),
+            induced_miss_rate: 0.0,
+            bandwidth_increase: 0.0,
+            amat_increase: 0.0,
+            energy_reduction: 0.0,
+            ipc_loss: 0.0,
+        }
+    }
+
+    /// Element-wise arithmetic mean (used to average over benchmarks,
+    /// as the paper's aggregate figures do).
+    pub fn mean(samples: &[TechniqueMetrics]) -> TechniqueMetrics {
+        assert!(!samples.is_empty());
+        let n = samples.len() as f64;
+        let mut acc = TechniqueMetrics {
+            occupation: 0.0,
+            l2_miss_rate: 0.0,
+            induced_miss_rate: 0.0,
+            bandwidth_increase: 0.0,
+            amat_increase: 0.0,
+            energy_reduction: 0.0,
+            ipc_loss: 0.0,
+        };
+        for s in samples {
+            acc.occupation += s.occupation;
+            acc.l2_miss_rate += s.l2_miss_rate;
+            acc.induced_miss_rate += s.induced_miss_rate;
+            acc.bandwidth_increase += s.bandwidth_increase;
+            acc.amat_increase += s.amat_increase;
+            acc.energy_reduction += s.energy_reduction;
+            acc.ipc_loss += s.ipc_loss;
+        }
+        acc.occupation /= n;
+        acc.l2_miss_rate /= n;
+        acc.induced_miss_rate /= n;
+        acc.bandwidth_increase /= n;
+        acc.amat_increase /= n;
+        acc.energy_reduction /= n;
+        acc.ipc_loss /= n;
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+    use cmpleak_coherence::Technique;
+    use cmpleak_workloads::WorkloadSpec;
+
+    fn pair(technique: Technique) -> (ExperimentResult, ExperimentResult) {
+        let mut cfg = ExperimentConfig::paper(WorkloadSpec::facerec(), Technique::Baseline, 1);
+        cfg.instructions_per_core = 50_000;
+        let base = run_experiment(&cfg);
+        cfg.technique = technique;
+        let tech = run_experiment(&cfg);
+        (base, tech)
+    }
+
+    #[test]
+    fn protocol_metrics_are_free_lunch_shaped() {
+        let (base, tech) = pair(Technique::Protocol);
+        let m = TechniqueMetrics::compare(&base, &tech);
+        assert!(m.occupation < 1.0);
+        assert!(m.ipc_loss.abs() < 0.02, "protocol IPC loss ≈ 0, got {}", m.ipc_loss);
+        assert!(m.bandwidth_increase.abs() < 0.02, "no extra traffic, got {}", m.bandwidth_increase);
+        assert!(m.induced_miss_rate < 1e-4, "protocol induces no misses");
+    }
+
+    #[test]
+    fn identity_metrics_for_baseline() {
+        let (base, _) = pair(Technique::Protocol);
+        let m = TechniqueMetrics::baseline_identity(&base);
+        assert_eq!(m.occupation, 1.0);
+        assert_eq!(m.energy_reduction, 0.0);
+        assert_eq!(m.ipc_loss, 0.0);
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let a = TechniqueMetrics {
+            occupation: 0.2,
+            l2_miss_rate: 0.01,
+            induced_miss_rate: 0.0,
+            bandwidth_increase: 0.5,
+            amat_increase: 0.1,
+            energy_reduction: 0.3,
+            ipc_loss: 0.05,
+        };
+        let b = TechniqueMetrics { occupation: 0.4, energy_reduction: 0.1, ..a };
+        let m = TechniqueMetrics::mean(&[a, b]);
+        assert!((m.occupation - 0.3).abs() < 1e-12);
+        assert!((m.energy_reduction - 0.2).abs() < 1e-12);
+        assert!((m.bandwidth_increase - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline mismatch")]
+    fn comparing_across_cells_is_rejected() {
+        let mut cfg = ExperimentConfig::paper(WorkloadSpec::facerec(), Technique::Baseline, 1);
+        cfg.instructions_per_core = 20_000;
+        let base = run_experiment(&cfg);
+        let mut cfg2 = cfg;
+        cfg2.benchmark = WorkloadSpec::fmm();
+        let other = run_experiment(&cfg2);
+        TechniqueMetrics::compare(&base, &other);
+    }
+}

@@ -1,0 +1,259 @@
+//! The full evaluation grid, run in parallel.
+//!
+//! A sweep executes every (benchmark × cache size × technique) cell plus
+//! the per-(benchmark, size) baselines. Each simulation is
+//! single-threaded and deterministic; the sweep farms them over a worker
+//! pool (scoped threads + a crossbeam job channel — the share-nothing
+//! pattern from the workspace's hpc-parallel guides) and reassembles
+//! results by index, so the output is identical for any thread count.
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::metrics::TechniqueMetrics;
+use cmpleak_coherence::Technique;
+use cmpleak_power::PowerParams;
+use cmpleak_workloads::WorkloadSpec;
+use serde::Serialize;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Benchmarks to run (paper: the six-benchmark suite).
+    pub benchmarks: Vec<WorkloadSpec>,
+    /// Total L2 sizes in MB (paper: 1, 2, 4, 8).
+    pub sizes_mb: Vec<usize>,
+    /// Techniques (paper: protocol + decay/sel_decay at 512K/128K/64K).
+    /// The baseline is always run implicitly.
+    pub techniques: Vec<Technique>,
+    /// Instructions per core per run.
+    pub instructions_per_core: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Number of cores simulated.
+    pub n_cores: usize,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// The paper's full grid at a given scale.
+    pub fn paper(instructions_per_core: u64) -> Self {
+        Self {
+            benchmarks: WorkloadSpec::paper_suite(),
+            sizes_mb: vec![1, 2, 4, 8],
+            techniques: Technique::paper_set(),
+            instructions_per_core,
+            seed: 42,
+            n_cores: 4,
+            threads: 0,
+        }
+    }
+
+    /// A reduced grid for quick runs and benches.
+    pub fn smoke(instructions_per_core: u64) -> Self {
+        let mut cfg = Self::paper(instructions_per_core);
+        cfg.sizes_mb = vec![1];
+        cfg.benchmarks.truncate(2);
+        cfg
+    }
+}
+
+/// One evaluated cell of the grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Technique paper label (`baseline` rows are included).
+    pub technique: String,
+    /// Total L2 MB.
+    pub size_mb: usize,
+    /// Metrics relative to this cell's baseline.
+    pub metrics: TechniqueMetrics,
+    /// Raw cycle count (IPC bookkeeping / debugging).
+    pub cycles: u64,
+    /// Raw memory traffic in bytes.
+    pub mem_bytes: u64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Average L2 temperature, °C.
+    pub avg_l2_temp_c: f64,
+}
+
+/// All cells of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResults {
+    /// Evaluated cells, ordered (benchmark, size, technique) with the
+    /// baseline first within each (benchmark, size) group.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResults {
+    /// Find one cell.
+    pub fn cell(&self, benchmark: &str, technique: &str, size_mb: usize) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.benchmark == benchmark && c.technique == technique && c.size_mb == size_mb
+        })
+    }
+
+    /// Mean metrics of `technique` at `size_mb` across all benchmarks
+    /// (the aggregation of Figures 3–5).
+    pub fn mean_over_benchmarks(&self, technique: &str, size_mb: usize) -> Option<TechniqueMetrics> {
+        let samples: Vec<TechniqueMetrics> = self
+            .cells
+            .iter()
+            .filter(|c| c.technique == technique && c.size_mb == size_mb)
+            .map(|c| c.metrics)
+            .collect();
+        (!samples.is_empty()).then(|| TechniqueMetrics::mean(&samples))
+    }
+
+    /// Distinct benchmark names present, in first-seen order.
+    pub fn benchmarks(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = Vec::new();
+        for c in &self.cells {
+            if !v.contains(&c.benchmark) {
+                v.push(c.benchmark);
+            }
+        }
+        v
+    }
+}
+
+fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell {
+    SweepCell {
+        benchmark: result.benchmark,
+        technique: result.technique.clone(),
+        size_mb: result.total_l2_mb,
+        metrics,
+        cycles: result.stats.cycles,
+        mem_bytes: result.stats.mem_bytes,
+        energy_pj: result.power.energy.total_pj(),
+        avg_l2_temp_c: result.power.avg_l2_temp_c,
+    }
+}
+
+/// Run the sweep.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
+    // Job list: for each (benchmark, size): baseline + each technique.
+    let mut jobs: Vec<ExperimentConfig> = Vec::new();
+    for &bench in &cfg.benchmarks {
+        for &size in &cfg.sizes_mb {
+            let mut techs = vec![Technique::Baseline];
+            techs.extend(cfg.techniques.iter().copied());
+            for tech in techs {
+                jobs.push(ExperimentConfig {
+                    benchmark: bench,
+                    technique: tech,
+                    total_l2_mb: size,
+                    instructions_per_core: cfg.instructions_per_core,
+                    seed: cfg.seed,
+                    n_cores: cfg.n_cores,
+                    power: PowerParams::default(),
+                });
+            }
+        }
+    }
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    }
+    .min(jobs.len().max(1));
+
+    let mut results: Vec<Option<ExperimentResult>> = (0..jobs.len()).map(|_| None).collect();
+    {
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, ExperimentConfig)>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ExperimentResult)>();
+        for (i, j) in jobs.iter().enumerate() {
+            job_tx.send((i, *j)).expect("queue open");
+        }
+        drop(job_tx);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Ok((i, job)) = job_rx.recv() {
+                        let r = run_experiment(&job);
+                        if res_tx.send((i, r)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for (i, r) in res_rx.iter() {
+                results[i] = Some(r);
+            }
+        });
+    }
+    let results: Vec<ExperimentResult> =
+        results.into_iter().map(|r| r.expect("all jobs completed")).collect();
+
+    // Group per (benchmark, size): first entry is the baseline.
+    let group = 1 + cfg.techniques.len();
+    let mut cells = Vec::with_capacity(results.len());
+    for chunk in results.chunks(group) {
+        let base = &chunk[0];
+        cells.push(summarize(base, TechniqueMetrics::baseline_identity(base)));
+        for tech in &chunk[1..] {
+            cells.push(summarize(tech, TechniqueMetrics::compare(base, tech)));
+        }
+    }
+    SweepResults { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            benchmarks: vec![WorkloadSpec::mpeg2dec(), WorkloadSpec::volrend()],
+            sizes_mb: vec![1],
+            techniques: vec![Technique::Protocol, Technique::Decay { decay_cycles: 16 * 1024 }],
+            instructions_per_core: 40_000,
+            seed: 7,
+            n_cores: 2,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_all_cells_in_order() {
+        let res = run_sweep(&tiny());
+        // 2 benchmarks x 1 size x (baseline + 2 techniques).
+        assert_eq!(res.cells.len(), 6);
+        assert_eq!(res.cells[0].technique, "baseline");
+        assert_eq!(res.cells[1].technique, "protocol");
+        assert_eq!(res.cells[2].technique, "decay16K");
+        assert_eq!(res.benchmarks(), vec!["mpeg2dec", "VOLREND"]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let mut one = tiny();
+        one.threads = 1;
+        let a = run_sweep(&one);
+        let b = run_sweep(&tiny());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cycles, y.cycles, "{}:{}", x.benchmark, x.technique);
+            assert_eq!(x.mem_bytes, y.mem_bytes);
+        }
+    }
+
+    #[test]
+    fn mean_over_benchmarks_aggregates() {
+        let res = run_sweep(&tiny());
+        let m = res.mean_over_benchmarks("protocol", 1).unwrap();
+        assert!(m.occupation > 0.0 && m.occupation <= 1.0);
+        assert!(res.mean_over_benchmarks("nonesuch", 1).is_none());
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let res = run_sweep(&tiny());
+        assert!(res.cell("VOLREND", "protocol", 1).is_some());
+        assert!(res.cell("VOLREND", "protocol", 8).is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! The array stores per-line metadata of type `M` (coherence state, dirty
+//! bits, …) supplied by the embedding cache model. Validity is part of the
+//! metadata (`M::is_valid`), so the array itself never interprets the
+//! coherence state — it only provides lookup, touch and victim selection.
+
+use crate::addr::{Geometry, LineAddr};
+
+/// Per-line metadata contract. `Default` must produce an *invalid* line.
+pub trait LineMeta: Default + Clone {
+    /// Whether this line currently holds a valid (powered, allocated) block.
+    fn is_valid(&self) -> bool;
+}
+
+/// One line slot: tag + LRU stamp + caller metadata.
+#[derive(Debug, Clone)]
+pub struct Line<M> {
+    /// Full line address of the resident block (meaningful only when
+    /// `meta.is_valid()`).
+    pub tag: LineAddr,
+    /// Monotonic last-use stamp for LRU.
+    pub lru: u64,
+    /// Caller-owned metadata.
+    pub meta: M,
+}
+
+impl<M: LineMeta> Default for Line<M> {
+    fn default() -> Self {
+        Self { tag: LineAddr(u64::MAX), lru: 0, meta: M::default() }
+    }
+}
+
+/// Result of a lookup: hit slot or the set to fill into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The block is resident; the payload is the flat slot id.
+    Hit(usize),
+    /// The block is absent from its set.
+    Miss,
+}
+
+/// A set-associative array of `Line<M>`.
+#[derive(Debug, Clone)]
+pub struct SetAssocArray<M> {
+    geom: Geometry,
+    lines: Vec<Line<M>>,
+    stamp: u64,
+}
+
+impl<M: LineMeta> SetAssocArray<M> {
+    /// Allocate an array with all lines invalid.
+    pub fn new(geom: Geometry) -> Self {
+        Self { geom, lines: (0..geom.lines()).map(|_| Line::default()).collect(), stamp: 0 }
+    }
+
+    /// The geometry this array was built with.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Flat slot ids making up the set `line` maps to (used by embedding
+    /// caches that need custom victim policies, e.g. skipping transient
+    /// lines).
+    #[inline]
+    pub fn set_slots(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = self.geom.set_index(line);
+        let base = set * self.geom.assoc;
+        base..base + self.geom.assoc
+    }
+
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        self.set_slots(line)
+    }
+
+    /// Find the slot holding `line`, without updating LRU state.
+    pub fn probe(&self, line: LineAddr) -> LookupOutcome {
+        for idx in self.set_range(line) {
+            let l = &self.lines[idx];
+            if l.meta.is_valid() && l.tag == line {
+                return LookupOutcome::Hit(idx);
+            }
+        }
+        LookupOutcome::Miss
+    }
+
+    /// Find the slot holding `line` and mark it most-recently-used.
+    pub fn lookup(&mut self, line: LineAddr) -> LookupOutcome {
+        match self.probe(line) {
+            LookupOutcome::Hit(idx) => {
+                self.touch(idx);
+                LookupOutcome::Hit(idx)
+            }
+            LookupOutcome::Miss => LookupOutcome::Miss,
+        }
+    }
+
+    /// Mark a slot most-recently-used.
+    #[inline]
+    pub fn touch(&mut self, slot: usize) {
+        self.stamp += 1;
+        self.lines[slot].lru = self.stamp;
+    }
+
+    /// Choose a victim slot in `line`'s set: an invalid way if one exists,
+    /// otherwise the least-recently-used way. Does not modify the slot.
+    pub fn victim(&self, line: LineAddr) -> usize {
+        let mut best = usize::MAX;
+        let mut best_lru = u64::MAX;
+        for idx in self.set_range(line) {
+            let l = &self.lines[idx];
+            if !l.meta.is_valid() {
+                return idx;
+            }
+            if l.lru < best_lru {
+                best_lru = l.lru;
+                best = idx;
+            }
+        }
+        best
+    }
+
+    /// Install `line` into `slot`, replacing whatever was there, with fresh
+    /// metadata, and mark it MRU. Returns the evicted line's `(tag, meta)`
+    /// if the slot held a valid block.
+    pub fn fill(&mut self, slot: usize, line: LineAddr, meta: M) -> Option<(LineAddr, M)> {
+        let prev = {
+            let l = &self.lines[slot];
+            if l.meta.is_valid() { Some((l.tag, l.meta.clone())) } else { None }
+        };
+        self.stamp += 1;
+        let l = &mut self.lines[slot];
+        l.tag = line;
+        l.meta = meta;
+        l.lru = self.stamp;
+        prev
+    }
+
+    /// Immutable access to a slot.
+    #[inline]
+    pub fn slot(&self, slot: usize) -> &Line<M> {
+        &self.lines[slot]
+    }
+
+    /// Mutable access to a slot's metadata.
+    #[inline]
+    pub fn meta_mut(&mut self, slot: usize) -> &mut M {
+        &mut self.lines[slot].meta
+    }
+
+    /// Invalidate a slot (metadata reset to default).
+    pub fn invalidate(&mut self, slot: usize) {
+        self.lines[slot].meta = M::default();
+    }
+
+    /// Iterate over all slots with their flat ids.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Line<M>)> {
+        self.lines.iter().enumerate()
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.meta.is_valid()).count()
+    }
+
+    /// Set index a flat slot id belongs to.
+    #[inline]
+    pub fn set_of_slot(&self, slot: usize) -> usize {
+        slot / self.geom.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Clone, Debug, PartialEq)]
+    struct V(bool);
+    impl LineMeta for V {
+        fn is_valid(&self) -> bool {
+            self.0
+        }
+    }
+
+    fn small() -> SetAssocArray<V> {
+        // 4 sets, 2 ways, 64 B lines.
+        SetAssocArray::new(Geometry::new(512, 64, 2))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut a = small();
+        let line = a.geometry().line_of(0x80);
+        assert_eq!(a.lookup(line), LookupOutcome::Miss);
+        let v = a.victim(line);
+        assert!(a.fill(v, line, V(true)).is_none());
+        assert_eq!(a.lookup(line), LookupOutcome::Hit(v));
+    }
+
+    #[test]
+    fn victim_prefers_invalid_way() {
+        let mut a = small();
+        let g = a.geometry();
+        let l0 = g.line_of(0); // set 0
+        let v0 = a.victim(l0);
+        a.fill(v0, l0, V(true));
+        let l1 = g.line_of((4 * 64) as u64); // also set 0 (wraps 4 sets)
+        let v1 = a.victim(l1);
+        assert_ne!(v0, v1, "second fill must take the invalid way");
+    }
+
+    #[test]
+    fn victim_is_lru_when_set_full() {
+        let mut a = small();
+        let g = a.geometry();
+        let l0 = g.line_of(0);
+        let l1 = g.line_of(4 * 64);
+        let l2 = g.line_of(8 * 64); // all map to set 0
+        let v0 = a.victim(l0);
+        a.fill(v0, l0, V(true));
+        let v1 = a.victim(l1);
+        a.fill(v1, l1, V(true));
+        // Touch l0 so l1 becomes LRU.
+        a.lookup(l0);
+        let v2 = a.victim(l2);
+        assert_eq!(v2, v1, "LRU way must be chosen");
+        let evicted = a.fill(v2, l2, V(true)).expect("eviction");
+        assert_eq!(evicted.0, l1);
+    }
+
+    #[test]
+    fn invalidate_frees_the_slot() {
+        let mut a = small();
+        let g = a.geometry();
+        let l0 = g.line_of(0x40);
+        let v = a.victim(l0);
+        a.fill(v, l0, V(true));
+        a.invalidate(v);
+        assert_eq!(a.lookup(l0), LookupOutcome::Miss);
+        assert_eq!(a.valid_count(), 0);
+    }
+
+    #[test]
+    fn fill_reports_previous_occupant() {
+        let mut a = small();
+        let g = a.geometry();
+        let l0 = g.line_of(0);
+        let l1 = g.line_of(4 * 64);
+        let v = a.victim(l0);
+        a.fill(v, l0, V(true));
+        let prev = a.fill(v, l1, V(true));
+        assert_eq!(prev, Some((l0, V(true))));
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut a = small();
+        let g = a.geometry();
+        let l0 = g.line_of(0);
+        let l1 = g.line_of(4 * 64);
+        let l2 = g.line_of(8 * 64);
+        let v0 = a.victim(l0);
+        a.fill(v0, l0, V(true));
+        let v1 = a.victim(l1);
+        a.fill(v1, l1, V(true));
+        // probe l0 (no LRU update): l0 stays LRU and must be evicted next.
+        assert_eq!(a.probe(l0), LookupOutcome::Hit(v0));
+        assert_eq!(a.victim(l2), v0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Hierarchical cache-decay counter bank (Kaxiras et al., ISCA'01),
+//! extended for coherent caches.
+//!
+//! The hardware the paper assumes is a two-level counter architecture: one
+//! **global cycle counter** that emits a *tick* every
+//! `decay_time / 2^counter_bits` cycles, and a small saturating counter per
+//! cache line. On every tick all per-line counters increment; a counter
+//! that saturates marks its line as *decayed* and a turn-off request is
+//! raised for it. Any access to the line resets its counter.
+//!
+//! Two extensions serve the paper's techniques:
+//!
+//! * an **armed bit** per line — Selective Decay arms decay only on
+//!   transitions into Shared/Exclusive and disarms it on transitions into
+//!   Modified, so M lines never decay;
+//! * **activity accounting** (`DecayStats`) — every increment and reset is
+//!   counted so `cmpleak-power` can charge the decay logic's dynamic
+//!   energy, and the counter storage contributes leakage.
+//!
+//! The bank is indexed by the flat slot id of `cmpleak_mem::SetAssocArray`.
+
+/// Configuration for one decay counter bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecayConfig {
+    /// Target decay interval in cycles. A line decays after being unused
+    /// for `decay_cycles` (quantised up by the tick period: the effective
+    /// interval for a given line is between `decay_cycles` and
+    /// `decay_cycles + tick_period`, exactly as in the hierarchical
+    /// hardware scheme).
+    pub decay_cycles: u64,
+    /// Width of the per-line saturating counter (the paper assumes 2 bits).
+    pub counter_bits: u32,
+}
+
+impl DecayConfig {
+    /// Standard 2-bit configuration used throughout the paper.
+    pub fn fixed(decay_cycles: u64) -> Self {
+        Self { decay_cycles, counter_bits: 2 }
+    }
+
+    /// Cycles between global ticks.
+    #[inline]
+    pub fn tick_period(&self) -> u64 {
+        let steps = 1u64 << self.counter_bits;
+        (self.decay_cycles / steps).max(1)
+    }
+
+    /// Number of ticks after which an untouched line is considered
+    /// decayed. A `b`-bit counter decays its line on the `2^b`-th tick
+    /// (the saturating transition), so the effective per-line interval is
+    /// in `(decay_cycles - tick_period, decay_cycles]` depending on the
+    /// phase of the last access relative to the global tick.
+    #[inline]
+    pub fn saturation(&self) -> u8 {
+        (1u64 << self.counter_bits).min(u8::MAX as u64) as u8
+    }
+}
+
+/// Activity counters for energy accounting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecayStats {
+    /// Global ticks elapsed.
+    pub ticks: u64,
+    /// Per-line counter increments performed (dynamic energy events).
+    pub increments: u64,
+    /// Counter resets due to line accesses.
+    pub resets: u64,
+    /// Lines reported as decayed (turn-off requests raised).
+    pub decays: u64,
+}
+
+/// A bank of per-line decay counters for one cache.
+#[derive(Debug, Clone)]
+pub struct DecayBank {
+    cfg: DecayConfig,
+    counters: Vec<u8>,
+    armed: Vec<bool>,
+    /// Lines currently live (counting); a decayed or turned-off line stops
+    /// counting until rearmed by an access/fill.
+    live: Vec<bool>,
+    next_tick: u64,
+    stats: DecayStats,
+}
+
+impl DecayBank {
+    /// Create a bank covering `lines` slots. All lines start *not live*
+    /// (nothing to decay until a fill arms them) and *armed* (plain fixed
+    /// decay lets every line decay; Selective Decay manipulates the armed
+    /// bits explicitly).
+    pub fn new(lines: usize, cfg: DecayConfig) -> Self {
+        assert!(cfg.counter_bits >= 1 && cfg.counter_bits <= 8, "counter bits in 1..=8");
+        assert!(cfg.decay_cycles > 0, "decay interval must be positive");
+        Self {
+            next_tick: cfg.tick_period(),
+            cfg,
+            counters: vec![0; lines],
+            armed: vec![true; lines],
+            live: vec![false; lines],
+            stats: DecayStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> DecayConfig {
+        self.cfg
+    }
+
+    /// Accumulated activity statistics.
+    pub fn stats(&self) -> DecayStats {
+        self.stats
+    }
+
+    /// Cycle at which the next global tick fires.
+    #[inline]
+    pub fn next_tick_at(&self) -> u64 {
+        self.next_tick
+    }
+
+    /// A line was accessed (hit or filled): reset its counter and mark it
+    /// live so it participates in future ticks.
+    #[inline]
+    pub fn on_access(&mut self, slot: usize) {
+        if self.counters[slot] != 0 {
+            self.stats.resets += 1;
+        }
+        self.counters[slot] = 0;
+        self.live[slot] = true;
+    }
+
+    /// The line was turned off or protocol-invalidated: stop counting it.
+    #[inline]
+    pub fn on_line_off(&mut self, slot: usize) {
+        self.live[slot] = false;
+        self.counters[slot] = 0;
+    }
+
+    /// Arm decay for a line (Selective Decay: transition into S or E).
+    #[inline]
+    pub fn arm(&mut self, slot: usize) {
+        self.armed[slot] = true;
+    }
+
+    /// Disarm decay for a line (Selective Decay: transition into M).
+    /// The counter keeps its value but the line cannot decay while
+    /// disarmed.
+    #[inline]
+    pub fn disarm(&mut self, slot: usize) {
+        self.armed[slot] = false;
+    }
+
+    /// Whether the given line is currently armed.
+    #[inline]
+    pub fn is_armed(&self, slot: usize) -> bool {
+        self.armed[slot]
+    }
+
+    /// Whether the line is live (counting toward decay). A line that
+    /// decayed or was turned off stops being live until re-accessed; the
+    /// cache controller uses this to drop deferred turn-offs that an
+    /// access overtook.
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live[slot]
+    }
+
+    /// Advance to `now`, performing any global ticks that have become due,
+    /// and append the slots that decayed to `decayed`.
+    ///
+    /// Multiple pending ticks (if the caller advanced time coarsely) are
+    /// processed in order; per-tick semantics are identical to hardware
+    /// scanning all counters on the tick edge.
+    pub fn advance(&mut self, now: u64, decayed: &mut Vec<usize>) {
+        while self.next_tick <= now {
+            self.tick(decayed);
+            self.next_tick += self.cfg.tick_period();
+        }
+    }
+
+    /// Perform one global tick: increment every live, armed counter;
+    /// saturated counters decay their line.
+    fn tick(&mut self, decayed: &mut Vec<usize>) {
+        self.stats.ticks += 1;
+        let sat = self.cfg.saturation();
+        for slot in 0..self.counters.len() {
+            if !self.live[slot] || !self.armed[slot] {
+                continue;
+            }
+            let c = &mut self.counters[slot];
+            if *c < sat {
+                *c += 1;
+                self.stats.increments += 1;
+                if *c == sat {
+                    self.live[slot] = false;
+                    self.stats.decays += 1;
+                    decayed.push(slot);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(bank: &mut DecayBank, now: u64) -> Vec<usize> {
+        let mut v = Vec::new();
+        bank.advance(now, &mut v);
+        v
+    }
+
+    #[test]
+    fn tick_period_divides_decay_interval() {
+        let cfg = DecayConfig::fixed(512_000);
+        assert_eq!(cfg.tick_period(), 128_000);
+        assert_eq!(cfg.saturation(), 4);
+    }
+
+    #[test]
+    fn untouched_live_line_decays_after_interval() {
+        let mut b = DecayBank::new(4, DecayConfig::fixed(4000));
+        b.on_access(2);
+        // After 3 ticks (3000 cycles) not yet decayed; 4th tick saturates.
+        assert!(drain(&mut b, 3000).is_empty());
+        let d = drain(&mut b, 4000);
+        assert_eq!(d, vec![2]);
+        assert_eq!(b.stats().decays, 1);
+    }
+
+    #[test]
+    fn access_resets_the_countdown() {
+        let mut b = DecayBank::new(1, DecayConfig::fixed(4000));
+        b.on_access(0);
+        assert!(drain(&mut b, 3000).is_empty());
+        b.on_access(0); // reset at t=3000, on a tick boundary
+        assert!(drain(&mut b, 6000).is_empty(), "reset must defer decay");
+        let d = drain(&mut b, 7000);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn non_live_lines_never_decay() {
+        let mut b = DecayBank::new(2, DecayConfig::fixed(1000));
+        // Slot 0 never accessed (not live); slot 1 accessed then turned off.
+        b.on_access(1);
+        b.on_line_off(1);
+        assert!(drain(&mut b, 100_000).is_empty());
+        assert_eq!(b.stats().decays, 0);
+    }
+
+    #[test]
+    fn disarmed_lines_hold_without_decaying() {
+        let mut b = DecayBank::new(1, DecayConfig::fixed(1000));
+        b.on_access(0);
+        b.disarm(0);
+        assert!(drain(&mut b, 10_000).is_empty());
+        b.arm(0);
+        // Counter was frozen at 0; decays one full interval after rearming.
+        let d = drain(&mut b, 11_000);
+        assert_eq!(d, vec![0]);
+    }
+
+    #[test]
+    fn decayed_line_does_not_redecay_until_reaccessed() {
+        let mut b = DecayBank::new(1, DecayConfig::fixed(1000));
+        b.on_access(0);
+        assert_eq!(drain(&mut b, 1000), vec![0]);
+        assert!(drain(&mut b, 50_000).is_empty());
+        b.on_access(0);
+        assert_eq!(drain(&mut b, 51_000), vec![0]);
+    }
+
+    #[test]
+    fn effective_interval_quantised_within_one_tick() {
+        // Access mid-way between ticks: the first tick arrives early, so
+        // the effective interval is nominal minus the access phase —
+        // within one tick period of nominal, exactly as in the
+        // hierarchical-counter hardware.
+        let cfg = DecayConfig::fixed(4000); // ticks at 1000, 2000, ...
+        let mut b = DecayBank::new(1, cfg);
+        drain(&mut b, 1500);
+        b.on_access(0); // t = 1500; counter ticks at 2000/3000/4000/5000
+        assert!(drain(&mut b, 4999).is_empty());
+        let mut v = Vec::new();
+        b.advance(5000, &mut v);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn stats_count_increments_and_resets() {
+        let mut b = DecayBank::new(2, DecayConfig::fixed(4000));
+        b.on_access(0);
+        b.on_access(1);
+        drain(&mut b, 2000); // two ticks: 2 increments per live line
+        assert_eq!(b.stats().increments, 4);
+        b.on_access(0); // nonzero counter -> reset counted
+        assert_eq!(b.stats().resets, 1);
+    }
+
+    #[test]
+    fn one_bit_counters_have_coarser_ticks_same_interval() {
+        let cfg = DecayConfig { decay_cycles: 4000, counter_bits: 1 };
+        assert_eq!(cfg.tick_period(), 2000);
+        assert_eq!(cfg.saturation(), 2);
+        let mut b = DecayBank::new(1, cfg);
+        b.on_access(0);
+        assert!(drain(&mut b, 2000).is_empty());
+        assert_eq!(drain(&mut b, 4000), vec![0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the memory structures, checked against
+//! straightforward reference models.
+
+use cmpleak_mem::array::LineMeta;
+use cmpleak_mem::{
+    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray,
+    WriteBuffer,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+#[derive(Default, Clone, Debug)]
+struct V(bool);
+impl LineMeta for V {
+    fn is_valid(&self) -> bool {
+        self.0
+    }
+}
+
+/// Reference model of a set-associative LRU cache: per set, a VecDeque
+/// ordered MRU-first.
+#[derive(Default)]
+struct RefCache {
+    sets: HashMap<usize, VecDeque<u64>>,
+    assoc: usize,
+}
+
+impl RefCache {
+    fn access(&mut self, set: usize, line: u64) -> bool {
+        let q = self.sets.entry(set).or_default();
+        if let Some(pos) = q.iter().position(|&l| l == line) {
+            q.remove(pos);
+            q.push_front(line);
+            true
+        } else {
+            q.push_front(line);
+            if q.len() > self.assoc {
+                q.pop_back();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The tag array under a lookup+fill-on-miss discipline behaves
+    /// exactly like the reference LRU model.
+    #[test]
+    fn tag_array_matches_reference_lru(
+        addrs in proptest::collection::vec(0u64..4096, 1..500)
+    ) {
+        let geom = Geometry::new(4096, 64, 4); // 16 sets x 4 ways
+        let mut arr: SetAssocArray<V> = SetAssocArray::new(geom);
+        let mut reference = RefCache { assoc: 4, ..Default::default() };
+        for a in addrs {
+            let line = geom.line_of(a * 64);
+            let set = geom.set_index(line);
+            let model_hit = reference.access(set, line.0);
+            let real_hit = match arr.lookup(line) {
+                LookupOutcome::Hit(_) => true,
+                LookupOutcome::Miss => {
+                    let v = arr.victim(line);
+                    arr.fill(v, line, V(true));
+                    false
+                }
+            };
+            prop_assert_eq!(model_hit, real_hit, "divergence at line {}", line.0);
+        }
+    }
+
+    /// Valid-count never exceeds capacity and matches the set union of
+    /// installed-minus-invalidated lines.
+    #[test]
+    fn valid_count_is_consistent(
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300)
+    ) {
+        let geom = Geometry::new(2048, 64, 2);
+        let mut arr: SetAssocArray<V> = SetAssocArray::new(geom);
+        for (a, invalidate) in ops {
+            let line = geom.line_of(a * 64);
+            match arr.probe(line) {
+                LookupOutcome::Hit(slot) if invalidate => arr.invalidate(slot),
+                LookupOutcome::Hit(slot) => arr.touch(slot),
+                LookupOutcome::Miss => {
+                    let v = arr.victim(line);
+                    arr.fill(v, line, V(true));
+                }
+            }
+            prop_assert!(arr.valid_count() <= geom.lines());
+            // No duplicate tags among valid lines.
+            let tags: Vec<u64> =
+                arr.iter().filter(|(_, l)| l.meta.is_valid()).map(|(_, l)| l.tag.0).collect();
+            let set: HashSet<u64> = tags.iter().copied().collect();
+            prop_assert_eq!(tags.len(), set.len(), "duplicate resident tag");
+        }
+    }
+
+    /// Decay bank: a line never decays sooner than `decay - tick` cycles
+    /// after its last access, and always decays within `decay + tick`
+    /// if untouched, regardless of the access pattern.
+    #[test]
+    fn decay_window_is_tight(
+        accesses in proptest::collection::vec(0u64..10_000, 1..50),
+        decay_exp in 10u32..16,
+    ) {
+        let decay = 1u64 << decay_exp;
+        let cfg = DecayConfig::fixed(decay);
+        let tick = cfg.tick_period();
+        let mut bank = DecayBank::new(1, cfg);
+        let mut sorted = accesses.clone();
+        sorted.sort_unstable();
+        let mut out = Vec::new();
+        let mut last = 0u64;
+        for t in sorted {
+            bank.advance(t, &mut out);
+            for &slot in &out {
+                prop_assert_eq!(slot, 0);
+            }
+            if !out.is_empty() {
+                // Decay must not fire before decay - tick since last access.
+                prop_assert!(t >= last + decay - tick,
+                    "decayed at {t}, last access {last}, window {decay}±{tick}");
+                out.clear();
+            }
+            bank.on_access(0);
+            last = t;
+        }
+        // Untouched line decays within one window past last access.
+        let mut fired = Vec::new();
+        bank.advance(last + decay + tick, &mut fired);
+        prop_assert_eq!(fired, vec![0usize], "line must decay after going idle");
+    }
+
+    /// MSHR: merged targets always come back complete and in insertion
+    /// order; capacity is respected.
+    #[test]
+    fn mshr_preserves_targets(
+        reqs in proptest::collection::vec((0u64..8, 0u32..100), 1..60)
+    ) {
+        let mut mshr: Mshr<u32> = Mshr::new(4, 64);
+        let mut expected: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (line, tag) in reqs {
+            match mshr.allocate(LineAddr(line), tag, false) {
+                MshrAlloc::Primary | MshrAlloc::Secondary => {
+                    expected.entry(line).or_default().push(tag);
+                }
+                MshrAlloc::Full => {}
+            }
+            prop_assert!(mshr.len() <= 4);
+        }
+        let lines: Vec<u64> = expected.keys().copied().collect();
+        for line in lines {
+            if let Some(entry) = mshr.complete(LineAddr(line)) {
+                prop_assert_eq!(&entry.targets, expected.get(&line).unwrap());
+            }
+        }
+        prop_assert!(mshr.is_empty());
+    }
+
+    /// Write buffer: drains in FIFO order of first-store per line, never
+    /// holds duplicates, never exceeds capacity.
+    #[test]
+    fn write_buffer_fifo_and_coalescing(
+        stores in proptest::collection::vec(0u64..16, 1..100)
+    ) {
+        let mut wb = WriteBuffer::new(4);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for s in stores {
+            let accepted = wb.push(LineAddr(s));
+            let in_model = model.contains(&s);
+            if in_model {
+                prop_assert!(accepted, "coalescing store must be accepted");
+            } else if model.len() < 4 {
+                prop_assert!(accepted);
+                model.push_back(s);
+            } else {
+                prop_assert!(!accepted, "full buffer must refuse");
+            }
+            prop_assert!(wb.len() <= 4);
+            // Occasionally drain.
+            if model.len() == 4 {
+                let head = wb.pop();
+                prop_assert_eq!(head.map(|l| l.0), model.pop_front());
+            }
+        }
+        while let Some(l) = wb.pop() {
+            prop_assert_eq!(Some(l.0), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Geometry round-trip: any address maps to a set within range and
+    /// back to a line base inside the original line.
+    #[test]
+    fn geometry_roundtrip(addr in any::<u64>()) {
+        let geom = Geometry::new(1 << 20, 64, 8);
+        let line = geom.line_of(addr & ((1 << 48) - 1));
+        let set = geom.set_index(line);
+        prop_assert!(set < geom.sets());
+        let base = line.byte_base(64);
+        prop_assert_eq!(base >> 6 << 6, base);
+        prop_assert_eq!(geom.line_of(base), line);
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-event dynamic energy model (Wattch/CACTI/Orion substitutes).
+
+use crate::params::PowerParams;
+use cmpleak_system::IntervalActivity;
+
+/// Computes dynamic energy from activity counters.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    params: PowerParams,
+    /// Per-access L2 energy for the configured bank size.
+    l2_access_pj: f64,
+}
+
+/// Dynamic energy of one interval, by component (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DynamicEnergy {
+    /// Core pipelines.
+    pub core_pj: f64,
+    /// L1 caches.
+    pub l1_pj: f64,
+    /// L2 caches.
+    pub l2_pj: f64,
+    /// Shared bus.
+    pub bus_pj: f64,
+    /// Decay-counter activity.
+    pub decay_pj: f64,
+}
+
+impl DynamicEnergy {
+    /// Total dynamic energy.
+    pub fn total(&self) -> f64 {
+        self.core_pj + self.l1_pj + self.l2_pj + self.bus_pj + self.decay_pj
+    }
+}
+
+impl EnergyModel {
+    /// Build for a given L2 bank size.
+    pub fn new(params: PowerParams, l2_bank_bytes: usize) -> Self {
+        Self { params, l2_access_pj: params.l2_access_pj(l2_bank_bytes) }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Per-access L2 energy in use.
+    pub fn l2_access_pj(&self) -> f64 {
+        self.l2_access_pj
+    }
+
+    /// Dynamic energy of one activity interval.
+    pub fn interval_dynamic(&self, a: &IntervalActivity) -> DynamicEnergy {
+        DynamicEnergy {
+            core_pj: a.instructions as f64 * self.params.core_epi_pj,
+            l1_pj: a.l1_accesses as f64 * self.params.l1_access_pj,
+            l2_pj: (a.l2_reads + a.l2_writes) as f64 * self.l2_access_pj,
+            bus_pj: a.bus_bytes as f64 * self.params.bus_pj_per_byte
+                + a.bus_transactions as f64 * self.params.bus_pj_per_txn,
+            decay_pj: a.decay_counter_events as f64 * self.params.decay_counter_event_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval() -> IntervalActivity {
+        IntervalActivity {
+            cycles: 10_000,
+            instructions: 40_000,
+            l1_accesses: 7_000,
+            l2_reads: 1_000,
+            l2_writes: 2_000,
+            bus_transactions: 100,
+            bus_bytes: 6_400,
+            mem_bytes: 6_400,
+            l2_powered_line_cycles: 0,
+            l2_total_line_cycles: 0,
+            decay_counter_events: 500,
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_adds_up() {
+        let m = EnergyModel::new(PowerParams::default(), 1024 * 1024);
+        let e = m.interval_dynamic(&interval());
+        assert!((e.core_pj - 40_000.0 * 40.0).abs() < 1e-6);
+        assert!((e.l1_pj - 7_000.0 * 20.0).abs() < 1e-6);
+        assert!((e.l2_pj - 3_000.0 * 100.0).abs() < 1e-3);
+        assert!((e.bus_pj - (6_400.0 + 5_000.0)).abs() < 1e-6);
+        assert!((e.decay_pj - 25.0).abs() < 1e-9);
+        let t = e.total();
+        assert!((t - (e.core_pj + e.l1_pj + e.l2_pj + e.bus_pj + e.decay_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_size_drives_l2_energy() {
+        let small = EnergyModel::new(PowerParams::default(), 256 * 1024);
+        let large = EnergyModel::new(PowerParams::default(), 2 * 1024 * 1024);
+        assert!(large.l2_access_pj() > small.l2_access_pj());
+    }
+}

@@ -1,0 +1,253 @@
+//! Energy integration over a simulation's activity trace, with the
+//! leakage→temperature→leakage feedback loop closed per interval —
+//! the paper's methodology (power trace every 10 000 cycles into
+//! HotSpot, leakage evaluated at the resulting temperatures).
+
+use crate::energy::EnergyModel;
+use crate::leakage::LeakageModel;
+use crate::params::PowerParams;
+use crate::thermal::ThermalModel;
+use cmpleak_coherence::Technique;
+use cmpleak_system::SimStats;
+
+/// Total energy of a run, by component (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Core pipeline dynamic energy.
+    pub core_dynamic_pj: f64,
+    /// L1 dynamic energy.
+    pub l1_dynamic_pj: f64,
+    /// L2 dynamic energy.
+    pub l2_dynamic_pj: f64,
+    /// Shared-bus dynamic energy.
+    pub bus_dynamic_pj: f64,
+    /// L2 array leakage (the optimization target).
+    pub l2_leakage_pj: f64,
+    /// Leakage of the never-gated rest of the chip.
+    pub other_leakage_pj: f64,
+    /// Decay-logic dynamic energy (counter increments/resets).
+    pub decay_dynamic_pj: f64,
+    /// Decay-counter leakage.
+    pub decay_leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy (the denominator of the paper's
+    /// energy-reduction figures).
+    pub fn total_pj(&self) -> f64 {
+        self.core_dynamic_pj
+            + self.l1_dynamic_pj
+            + self.l2_dynamic_pj
+            + self.bus_dynamic_pj
+            + self.l2_leakage_pj
+            + self.other_leakage_pj
+            + self.decay_dynamic_pj
+            + self.decay_leakage_pj
+    }
+
+    /// L2 leakage share of the total (calibration checks).
+    pub fn l2_leakage_share(&self) -> f64 {
+        self.l2_leakage_pj / self.total_pj()
+    }
+}
+
+/// Result of evaluating a run's power/thermal behaviour.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Energy totals by component.
+    pub energy: EnergyBreakdown,
+    /// Time-average of the mean L2 bank temperature, °C.
+    pub avg_l2_temp_c: f64,
+    /// Hottest block temperature seen, °C.
+    pub peak_temp_c: f64,
+    /// Average total power, watts.
+    pub avg_power_w: f64,
+}
+
+/// Integrate a run's energy.
+///
+/// * `n_cores` / `l2_bank_bytes` describe the system the stats came from;
+/// * `technique` selects the gating/decay overhead accounting.
+pub fn evaluate_energy(
+    params: PowerParams,
+    technique: Technique,
+    n_cores: usize,
+    l2_bank_bytes: usize,
+    stats: &SimStats,
+) -> PowerReport {
+    let line_bytes = 64;
+    let total_lines = (l2_bank_bytes / line_bytes) as u64 * n_cores as u64;
+    let energy_model = EnergyModel::new(params, l2_bank_bytes);
+    let leak_model = LeakageModel::new(params, technique, total_lines);
+    let mut thermal = ThermalModel::new(params, n_cores);
+
+    let mut acc = EnergyBreakdown::default();
+    let mut temp_weighted = 0.0f64;
+    let mut peak = f64::MIN;
+    let mut total_cycles = 0u64;
+
+    for iv in &stats.trace {
+        let t_l2 = thermal.mean_bank_temp();
+        let dynamic = energy_model.interval_dynamic(iv);
+        let l2_leak = leak_model.l2_interval_pj(iv.l2_powered_line_cycles, t_l2);
+        let ctr_leak = leak_model.decay_counters_interval_pj(iv.cycles, t_l2);
+        // Core-side leakage follows core block temperature.
+        let t_core = (0..n_cores).map(|i| thermal.core_temp(i)).sum::<f64>() / n_cores as f64;
+        let other_leak = leak_model.other_interval_pj(iv.cycles, t_core);
+
+        acc.core_dynamic_pj += dynamic.core_pj;
+        acc.l1_dynamic_pj += dynamic.l1_pj;
+        acc.l2_dynamic_pj += dynamic.l2_pj;
+        acc.bus_dynamic_pj += dynamic.bus_pj;
+        acc.decay_dynamic_pj += dynamic.decay_pj;
+        acc.l2_leakage_pj += l2_leak;
+        acc.decay_leakage_pj += ctr_leak;
+        acc.other_leakage_pj += other_leak;
+
+        // Feed the thermal model: distribute component powers over
+        // blocks (cores get pipeline+L1+their share of bus+other leak;
+        // banks get L2 dynamic + L2 leakage + counters).
+        let nf = n_cores as f64;
+        let core_pj = (dynamic.core_pj + dynamic.l1_pj + dynamic.bus_pj + other_leak) / nf;
+        let bank_pj = (dynamic.l2_pj + dynamic.decay_pj + l2_leak + ctr_leak) / nf;
+        let mut powers = vec![0.0f64; 2 * n_cores];
+        for i in 0..n_cores {
+            powers[i] = params.pj_per_cycles_to_watts(core_pj, iv.cycles);
+            powers[n_cores + i] = params.pj_per_cycles_to_watts(bank_pj, iv.cycles);
+        }
+        let dt = iv.cycles as f64 * params.cycle_seconds();
+        thermal.step(&powers, dt);
+
+        temp_weighted += thermal.mean_bank_temp() * iv.cycles as f64;
+        peak = peak.max(thermal.peak_temp());
+        total_cycles += iv.cycles;
+    }
+
+    let avg_l2_temp_c = if total_cycles > 0 {
+        temp_weighted / total_cycles as f64
+    } else {
+        params.ambient_celsius
+    };
+    let avg_power_w = params.pj_per_cycles_to_watts(acc.total_pj(), total_cycles.max(1));
+    PowerReport {
+        energy: acc,
+        avg_l2_temp_c,
+        peak_temp_c: if peak == f64::MIN { params.ambient_celsius } else { peak },
+        avg_power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpleak_system::IntervalActivity;
+
+    fn fake_stats(intervals: usize, powered_fraction: f64) -> SimStats {
+        let lines_total = 4 * 16384u64; // 4 x 1MB banks
+        let mut s = SimStats::default();
+        for _ in 0..intervals {
+            s.trace.push(IntervalActivity {
+                cycles: 10_000,
+                instructions: 38_000,
+                l1_accesses: 7_000,
+                l2_reads: 900,
+                l2_writes: 2_100,
+                bus_transactions: 60,
+                bus_bytes: 3_840,
+                mem_bytes: 3_840,
+                l2_powered_line_cycles: (lines_total as f64 * 10_000.0 * powered_fraction) as u64,
+                l2_total_line_cycles: lines_total * 10_000,
+                decay_counter_events: 0,
+            });
+        }
+        s.cycles = intervals as u64 * 10_000;
+        s
+    }
+
+    #[test]
+    fn baseline_l2_leak_share_matches_calibration() {
+        let stats = fake_stats(200, 1.0);
+        let r = evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
+        let share = r.energy.l2_leakage_share();
+        // The synthetic interval here is less dynamic-heavy than the
+        // calibration workloads (whose measured share is ≈0.31 at 4 MB),
+        // so accept a band around the target.
+        assert!(
+            share > 0.25 && share < 0.45,
+            "4MB-total baseline L2 leak share ≈ 31%, got {share:.3}"
+        );
+    }
+
+    #[test]
+    fn gating_reduces_l2_leakage_proportionally() {
+        let base = evaluate_energy(
+            PowerParams::default(),
+            Technique::Baseline,
+            4,
+            1024 * 1024,
+            &fake_stats(100, 1.0),
+        );
+        let gated = evaluate_energy(
+            PowerParams::default(),
+            Technique::Decay { decay_cycles: 1 << 19 },
+            4,
+            1024 * 1024,
+            &fake_stats(100, 0.1),
+        );
+        let ratio = gated.energy.l2_leakage_pj / base.energy.l2_leakage_pj;
+        // 10% occupancy x 1.05 area, modulo small temperature divergence.
+        assert!((ratio - 0.105).abs() < 0.02, "ratio {ratio}");
+        assert!(gated.energy.total_pj() < base.energy.total_pj());
+    }
+
+    #[test]
+    fn temperature_feedback_raises_leakage_over_time() {
+        // Same activity; longer runs heat up, so later intervals leak
+        // more per cycle.
+        let short = evaluate_energy(
+            PowerParams::default(),
+            Technique::Baseline,
+            4,
+            1024 * 1024,
+            &fake_stats(20, 1.0),
+        );
+        let long = evaluate_energy(
+            PowerParams::default(),
+            Technique::Baseline,
+            4,
+            1024 * 1024,
+            &fake_stats(2000, 1.0),
+        );
+        let short_per_cycle = short.energy.l2_leakage_pj / (20.0 * 10_000.0);
+        let long_per_cycle = long.energy.l2_leakage_pj / (2000.0 * 10_000.0);
+        assert!(
+            long_per_cycle > short_per_cycle,
+            "thermal feedback must raise per-cycle leakage: {short_per_cycle} vs {long_per_cycle}"
+        );
+        assert!(long.avg_l2_temp_c > short.avg_l2_temp_c);
+        assert!(long.peak_temp_c < 150.0, "physically sane");
+    }
+
+    #[test]
+    fn decay_overheads_charged_only_with_decay_logic() {
+        let stats = fake_stats(50, 0.2);
+        let prot = evaluate_energy(PowerParams::default(), Technique::Protocol, 4, 1024 * 1024, &stats);
+        let decay = evaluate_energy(
+            PowerParams::default(),
+            Technique::Decay { decay_cycles: 1 << 19 },
+            4,
+            1024 * 1024,
+            &stats,
+        );
+        assert_eq!(prot.energy.decay_leakage_pj, 0.0);
+        assert!(decay.energy.decay_leakage_pj > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_ambient_report() {
+        let stats = SimStats::default();
+        let r = evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
+        assert_eq!(r.energy.total_pj(), 0.0);
+        assert_eq!(r.avg_l2_temp_c, PowerParams::default().ambient_celsius);
+    }
+}

@@ -1,0 +1,114 @@
+//! Temperature-dependent leakage (Liao et al. substitute).
+//!
+//! Subthreshold leakage grows exponentially with temperature; around a
+//! reference point `T₀` the Liao model is well approximated by
+//! `P(T) = P(T₀) · e^{β(T−T₀)}` with β ≈ 0.03/°C at the paper's design
+//! point. The L2 model also charges the two overheads the paper accounts
+//! for (§V): the Gated-Vdd +5 % area overhead on powered lines of any
+//! gating-capable cache, and the always-on decay-counter bits for decay
+//! techniques.
+
+use crate::params::PowerParams;
+use cmpleak_coherence::Technique;
+
+/// Leakage power evaluator for one simulated system.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageModel {
+    params: PowerParams,
+    technique: Technique,
+    /// Total L2 line slots across all private caches.
+    total_lines: u64,
+}
+
+impl LeakageModel {
+    /// Build for a system with `total_lines` L2 line slots.
+    pub fn new(params: PowerParams, technique: Technique, total_lines: u64) -> Self {
+        Self { params, technique, total_lines }
+    }
+
+    /// The Liao-style temperature scaling factor.
+    #[inline]
+    pub fn temp_factor(&self, t_celsius: f64) -> f64 {
+        (self.params.leak_temp_beta * (t_celsius - self.params.t0_celsius)).exp()
+    }
+
+    /// L2 leakage energy over an interval, in pJ.
+    ///
+    /// `powered_line_cycles` is the integral of powered lines over the
+    /// interval's cycles (from the activity trace); `t_celsius` is the
+    /// representative L2 temperature for the interval.
+    pub fn l2_interval_pj(&self, powered_line_cycles: u64, t_celsius: f64) -> f64 {
+        let per_line = self.params.l2_leak_per_line_pj * self.temp_factor(t_celsius);
+        let area = if self.technique.gates_cold_lines() {
+            // Gating-capable array: Powell et al.'s +5 % area.
+            1.0 + self.params.gated_vdd_area_overhead
+        } else {
+            1.0
+        };
+        powered_line_cycles as f64 * per_line * area
+    }
+
+    /// Decay-counter leakage over `cycles`, in pJ. Counters exist for
+    /// every line and are never gated.
+    pub fn decay_counters_interval_pj(&self, cycles: u64, t_celsius: f64) -> f64 {
+        if !self.technique.has_decay_logic() {
+            return 0.0;
+        }
+        let per_line = self.params.l2_leak_per_line_pj
+            * self.params.decay_counter_leak_fraction
+            * self.temp_factor(t_celsius);
+        (self.total_lines * cycles) as f64 * per_line
+    }
+
+    /// Non-L2 (cores, L1s, bus) leakage over `cycles`, in pJ.
+    pub fn other_interval_pj(&self, cycles: u64, t_celsius: f64) -> f64 {
+        self.params.other_leak_pj_per_cycle * cycles as f64 * self.temp_factor(t_celsius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(t: Technique) -> LeakageModel {
+        LeakageModel::new(PowerParams::default(), t, 65536)
+    }
+
+    #[test]
+    fn temperature_scaling_is_exponential() {
+        let m = model(Technique::Baseline);
+        let p = PowerParams::default();
+        assert!((m.temp_factor(p.t0_celsius) - 1.0).abs() < 1e-12);
+        let hot = m.temp_factor(p.t0_celsius + 23.0);
+        assert!((hot - 2.0).abs() < 0.02, "leakage ~doubles every 23C, factor {hot}");
+        assert!(m.temp_factor(p.t0_celsius - 10.0) < 1.0);
+    }
+
+    #[test]
+    fn baseline_pays_no_area_overhead() {
+        let base = model(Technique::Baseline);
+        let prot = model(Technique::Protocol);
+        let plc = 1_000_000u64;
+        let t = 45.0;
+        let e_base = base.l2_interval_pj(plc, t);
+        let e_prot = prot.l2_interval_pj(plc, t);
+        assert!((e_prot / e_base - 1.05).abs() < 1e-9, "+5% gated-Vdd area");
+    }
+
+    #[test]
+    fn counter_leakage_only_for_decay_techniques() {
+        let t = 45.0;
+        assert_eq!(model(Technique::Baseline).decay_counters_interval_pj(1000, t), 0.0);
+        assert_eq!(model(Technique::Protocol).decay_counters_interval_pj(1000, t), 0.0);
+        let d = model(Technique::Decay { decay_cycles: 1 << 19 });
+        assert!(d.decay_counters_interval_pj(1000, t) > 0.0);
+    }
+
+    #[test]
+    fn gating_saves_leakage_proportionally() {
+        let m = model(Technique::Decay { decay_cycles: 1 << 19 });
+        let full = m.l2_interval_pj(1000, 45.0);
+        let tenth = m.l2_interval_pj(100, 45.0);
+        assert!((full / tenth - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Power, thermal and leakage models.
+//!
+//! The paper's methodology (§V) combines Wattch (core dynamic energy),
+//! CACTI (cache access energy), Orion (bus energy), HotSpot 3.0.2
+//! (temperature) and the Liao et al. temperature/voltage-dependent
+//! leakage model, fed by a power trace dumped every 10 000 cycles. None
+//! of those tools exist in the Rust ecosystem, so this crate implements
+//! compact analytic equivalents with the same *structure*:
+//!
+//! * [`params`] — every calibration constant, documented against the
+//!   quantity it was tuned to (the load-bearing one is the L2-leakage
+//!   share of baseline system energy growing ≈10 → 47 % from 1 MB to
+//!   8 MB total L2, which the paper's absolute savings imply);
+//! * [`energy`] — per-event dynamic energies with CACTI-style capacity
+//!   scaling;
+//! * [`leakage`] — exponential temperature-dependent leakage
+//!   (`P(T) = P(T₀)·e^{β(T−T₀)}`), plus the Gated-Vdd +5 % area overhead
+//!   and the decay-counter overheads the paper charges;
+//! * [`thermal`] — a lumped-RC floorplan (per-core and per-L2-bank
+//!   blocks with lateral coupling), integrated interval-by-interval;
+//! * [`integrator`] — walks a simulation's activity trace, closing the
+//!   leakage→temperature→leakage loop each interval, and produces the
+//!   [`EnergyBreakdown`] the figures are computed from.
+
+pub mod energy;
+pub mod integrator;
+pub mod leakage;
+pub mod params;
+pub mod thermal;
+
+pub use energy::EnergyModel;
+pub use integrator::{evaluate_energy, EnergyBreakdown, PowerReport};
+pub use leakage::LeakageModel;
+pub use params::PowerParams;
+pub use thermal::ThermalModel;

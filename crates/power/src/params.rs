@@ -1,0 +1,155 @@
+//! Calibration constants.
+//!
+//! Magnitudes are chosen for a ~70 nm, 4 GHz design point (the paper's
+//! era); only *ratios* affect the reproduced figures, and the single
+//! load-bearing calibration is [`PowerParams::l2_leak_per_line_pj`]: it
+//! sets the L2-leakage share of baseline system energy to ≈10 / 18 / 31 /
+//! 47 % at 1 / 2 / 4 / 8 MB total L2 — the shares implied by the paper's
+//! reported savings (Decay saves 9 / 17 / 30 / 43 % of *system* energy
+//! while eliminating nearly all L2 leakage).
+
+/// All power/thermal calibration constants. Energies in picojoules,
+/// powers derived at [`PowerParams::clock_ghz`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Core clock in GHz (converts per-cycle energies to watts for the
+    /// thermal model).
+    pub clock_ghz: f64,
+    /// Dynamic energy per dispatched instruction (Wattch-style EPI for a
+    /// 4-wide 21264-class core).
+    pub core_epi_pj: f64,
+    /// Dynamic energy per L1 access.
+    pub l1_access_pj: f64,
+    /// Dynamic energy per L2 access for a 1 MB bank; scales with
+    /// capacity as `(size/1MB)^0.5` (CACTI-like bitline/wordline growth).
+    pub l2_access_1mb_pj: f64,
+    /// Bus energy per byte moved (Orion-style).
+    pub bus_pj_per_byte: f64,
+    /// Bus energy per transaction (arbitration + address phase).
+    pub bus_pj_per_txn: f64,
+    /// L2 leakage per powered line per cycle at `t0_celsius`.
+    ///
+    /// 64-byte line ≈ 550 SRAM cells (data + tag + state); at 70 nm-era
+    /// subthreshold currents this is ≈ 0.0032 pJ/cycle/line ≡ 52
+    /// pJ/cycle/MB ≡ ~210 mW/MB at 4 GHz — the value that lands the
+    /// baseline L2-leakage shares above given the measured baseline
+    /// activity (≈467 pJ/cycle of non-L2-leakage system power on the
+    /// calibration workloads).
+    pub l2_leak_per_line_pj: f64,
+    /// Non-L2 leakage (cores + L1s + bus) per cycle, whole chip. Fixed:
+    /// these structures are never gated in the paper.
+    pub other_leak_pj_per_cycle: f64,
+    /// Reference temperature for the leakage calibration, °C.
+    pub t0_celsius: f64,
+    /// Exponential temperature coefficient β of subthreshold leakage,
+    /// 1/°C (Liao et al. report 0.02–0.04 for this era; we use 0.03:
+    /// leakage doubles every ~23 °C).
+    pub leak_temp_beta: f64,
+    /// Gated-Vdd area overhead (Powell et al.: +5 %), charged as extra
+    /// leakage on every *powered* line of a gating-capable cache.
+    pub gated_vdd_area_overhead: f64,
+    /// Leakage of the decay counters (2 bits + control per line),
+    /// relative to a full line's leakage. Counters are never gated.
+    pub decay_counter_leak_fraction: f64,
+    /// Dynamic energy per decay-counter event (increment or reset).
+    pub decay_counter_event_pj: f64,
+    /// Ambient temperature, °C.
+    pub ambient_celsius: f64,
+    /// Thermal resistance of one floorplan block to ambient, K/W.
+    pub block_r_to_ambient: f64,
+    /// Lateral thermal resistance between adjacent blocks, K/W.
+    pub block_r_lateral: f64,
+    /// Thermal capacitance of one block, J/K (τ = RC ≈ 1 ms).
+    pub block_capacitance: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self {
+            clock_ghz: 4.0,
+            core_epi_pj: 40.0,
+            l1_access_pj: 20.0,
+            l2_access_1mb_pj: 100.0,
+            bus_pj_per_byte: 1.0,
+            bus_pj_per_txn: 50.0,
+            l2_leak_per_line_pj: 0.0032,
+            other_leak_pj_per_cycle: 50.0,
+            t0_celsius: 45.0,
+            leak_temp_beta: 0.03,
+            gated_vdd_area_overhead: 0.05,
+            decay_counter_leak_fraction: 0.006,
+            decay_counter_event_pj: 0.05,
+            ambient_celsius: 35.0,
+            block_r_to_ambient: 60.0,
+            block_r_lateral: 15.0,
+            block_capacitance: 1.6e-5,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Seconds per cycle at the configured clock.
+    #[inline]
+    pub fn cycle_seconds(&self) -> f64 {
+        1e-9 / self.clock_ghz
+    }
+
+    /// Convert an energy in pJ spent over `cycles` into average watts.
+    #[inline]
+    pub fn pj_per_cycles_to_watts(&self, pj: f64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            (pj * 1e-12) / (cycles as f64 * self.cycle_seconds())
+        }
+    }
+
+    /// CACTI-style L2 access energy for a bank of `bank_bytes`.
+    #[inline]
+    pub fn l2_access_pj(&self, bank_bytes: usize) -> f64 {
+        let mb = bank_bytes as f64 / (1024.0 * 1024.0);
+        self.l2_access_1mb_pj * mb.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_calibration_hits_target_shares() {
+        // Non-L2-leakage system power measured from baseline runs of the
+        // calibration workloads (chip IPC ≈ 5, store-dominated L2
+        // traffic): ≈467 pJ/cycle. Against it, the per-line leakage
+        // constant must land the paper-implied L2-leakage shares.
+        let p = PowerParams::default();
+        let non_l2 = 467.0;
+        for (mb, target) in [(1.0, 0.10), (2.0, 0.18), (4.0, 0.31), (8.0, 0.47)] {
+            let lines = mb * 16384.0;
+            let leak = lines * p.l2_leak_per_line_pj;
+            let share = leak / (leak + non_l2);
+            assert!(
+                (share - target).abs() < 0.05,
+                "{mb} MB: share {share:.3} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_access_energy_scales_sublinearly() {
+        let p = PowerParams::default();
+        let e1 = p.l2_access_pj(1024 * 1024);
+        let e4 = p.l2_access_pj(4 * 1024 * 1024);
+        assert!(e4 > e1 && e4 < 4.0 * e1);
+        assert!((e4 / e1 - 2.0).abs() < 1e-9, "sqrt scaling");
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = PowerParams::default();
+        assert!((p.cycle_seconds() - 0.25e-9).abs() < 1e-15);
+        // 1000 pJ over 1000 cycles at 4 GHz: 1 nJ / 250 ns = 4 mW.
+        let w = p.pj_per_cycles_to_watts(1000.0, 1000);
+        assert!((w - 4.0e-3).abs() < 1e-12);
+    }
+}

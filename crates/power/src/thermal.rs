@@ -1,0 +1,186 @@
+//! Lumped-RC thermal model (HotSpot substitute).
+//!
+//! The floorplan is a ring-less strip: `n` core blocks followed by `n` L2
+//! bank blocks. Each block has a thermal capacitance, a resistance to
+//! ambient, and lateral resistances to its neighbours (core *i* couples
+//! to core *i±1* and to its own L2 bank; bank *i* couples to bank *i±1*).
+//! Temperatures are integrated with forward Euler at the activity-trace
+//! interval (10K cycles ≈ 2.5 µs, far below the ≈1 ms RC constant, so
+//! the integration is stable and smooth).
+
+use crate::params::PowerParams;
+
+/// Lumped thermal network for `n_cores` cores + `n_cores` L2 banks.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    params: PowerParams,
+    n_cores: usize,
+    /// Block temperatures in °C: `[core0..coreN, bank0..bankN]`.
+    temps: Vec<f64>,
+}
+
+impl ThermalModel {
+    /// All blocks start at ambient.
+    pub fn new(params: PowerParams, n_cores: usize) -> Self {
+        Self { params, n_cores, temps: vec![params.ambient_celsius; 2 * n_cores] }
+    }
+
+    /// Number of cores (and banks).
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Temperature of core block `i`.
+    pub fn core_temp(&self, i: usize) -> f64 {
+        self.temps[i]
+    }
+
+    /// Temperature of L2 bank block `i`.
+    pub fn bank_temp(&self, i: usize) -> f64 {
+        self.temps[self.n_cores + i]
+    }
+
+    /// Mean L2 bank temperature (what the leakage model samples).
+    pub fn mean_bank_temp(&self) -> f64 {
+        let n = self.n_cores as f64;
+        self.temps[self.n_cores..].iter().sum::<f64>() / n
+    }
+
+    /// Hottest block on chip.
+    pub fn peak_temp(&self) -> f64 {
+        self.temps.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    fn neighbours(&self, b: usize) -> Vec<usize> {
+        let n = self.n_cores;
+        let mut v = Vec::with_capacity(3);
+        if b < n {
+            // Core block: adjacent cores + own bank.
+            if b > 0 {
+                v.push(b - 1);
+            }
+            if b + 1 < n {
+                v.push(b + 1);
+            }
+            v.push(n + b);
+        } else {
+            // Bank block: adjacent banks + own core.
+            let i = b - n;
+            if i > 0 {
+                v.push(b - 1);
+            }
+            if i + 1 < n {
+                v.push(b + 1);
+            }
+            v.push(i);
+        }
+        v
+    }
+
+    /// Advance the network by `dt_seconds` with the given block powers in
+    /// watts (`[core0..coreN, bank0..bankN]`).
+    pub fn step(&mut self, powers_w: &[f64], dt_seconds: f64) {
+        assert_eq!(powers_w.len(), self.temps.len());
+        let p = &self.params;
+        let mut next = self.temps.clone();
+        for b in 0..self.temps.len() {
+            let t = self.temps[b];
+            let mut flow = powers_w[b] - (t - p.ambient_celsius) / p.block_r_to_ambient;
+            for nb in self.neighbours(b) {
+                flow -= (t - self.temps[nb]) / p.block_r_lateral;
+            }
+            next[b] = t + flow * dt_seconds / p.block_capacitance;
+        }
+        self.temps = next;
+    }
+
+    /// Steady-state temperatures for constant block powers (fixed-point
+    /// solve; used by tests and the `thermal_runaway` example).
+    pub fn steady_state(&self, powers_w: &[f64]) -> Vec<f64> {
+        let mut sim = self.clone();
+        // τ ≈ RC ≈ 1 ms; integrating 100 τ with 10 µs steps converges
+        // far below solver tolerance.
+        let dt = 1e-5;
+        for _ in 0..100_000 {
+            sim.step(powers_w, dt);
+        }
+        sim.temps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::new(PowerParams::default(), 4)
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let m = model();
+        let p = PowerParams::default();
+        for i in 0..4 {
+            assert_eq!(m.core_temp(i), p.ambient_celsius);
+            assert_eq!(m.bank_temp(i), p.ambient_celsius);
+        }
+    }
+
+    #[test]
+    fn power_heats_blocks_toward_steady_state() {
+        let m = model();
+        let powers = vec![0.5; 8]; // 0.5 W everywhere
+        let ss = m.steady_state(&powers);
+        let p = PowerParams::default();
+        for &t in &ss {
+            assert!(t > p.ambient_celsius + 5.0, "blocks must heat, t={t}");
+            assert!(t < 120.0, "bounded, t={t}");
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut m = model();
+        m.step(&vec![0.0; 8], 1e-3);
+        let p = PowerParams::default();
+        for &t in &m.temps {
+            assert!((t - p.ambient_celsius).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lateral_coupling_spreads_heat() {
+        let m = model();
+        // Only core 0 dissipates.
+        let mut powers = vec![0.0; 8];
+        powers[0] = 1.0;
+        let ss = m.steady_state(&powers);
+        let p = PowerParams::default();
+        assert!(ss[0] > ss[1], "source hotter than neighbour");
+        assert!(ss[1] > ss[3], "heat decays with distance");
+        assert!(ss[1] > p.ambient_celsius + 1.0, "neighbour warmed laterally");
+        assert!(ss[4] > p.ambient_celsius + 1.0, "own bank warmed");
+    }
+
+    #[test]
+    fn step_is_stable_at_trace_granularity() {
+        let mut m = model();
+        let powers = vec![2.0; 8];
+        // 10K cycles at 4 GHz = 2.5 microseconds per step.
+        for _ in 0..100_000 {
+            m.step(&powers, 2.5e-6);
+        }
+        for &t in &m.temps {
+            assert!(t.is_finite() && t < 200.0);
+        }
+    }
+
+    #[test]
+    fn hotter_neighbours_raise_a_cold_block() {
+        let mut m = model();
+        m.temps[1] = 80.0; // preheat core 1
+        let before = m.temps[0];
+        m.step(&vec![0.0; 8], 1e-4);
+        assert!(m.temps[0] > before, "conduction from the hot neighbour");
+    }
+}

@@ -1,0 +1,758 @@
+//! The CMP system orchestrator: the cycle loop tying cores, L1s, write
+//! buffers, L2s, the snoopy bus and memory together.
+//!
+//! # Cycle structure
+//!
+//! 1. fire due events (load completions, L2 responses, fills, TC/TD
+//!    grants),
+//! 2. grant at most one bus transaction (the bus serialises coherence),
+//!    performing the snoop across all other L2s at grant time,
+//! 3. per core: advance decay clocks, retry deferred turn-offs, serve the
+//!    L2 ports (L1 read misses first, then write-buffer drains),
+//! 4. tick the cores (dispatch instructions, issue loads/stores into the
+//!    L1 / write buffer through [`CorePort`] adapters),
+//! 5. sample the activity trace.
+//!
+//! Everything is deterministic: FIFO bus arbitration, fixed core order,
+//! a sequence-numbered event queue.
+
+use crate::bus::{BusReq, BusReqKind, SharedBus};
+use crate::config::CmpConfig;
+use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
+use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
+use crate::stats::{IntervalActivity, SimStats};
+use cmpleak_coherence::bus::SnoopKind;
+use cmpleak_cpu::{CoreModel, CorePort, Workload};
+use cmpleak_mem::{Geometry, LineAddr, WriteBuffer};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// An L1 load hit completes.
+    L1Hit { core: usize, id: u64, issued_at: u64 },
+    /// An L2 read hit's response reaches the L1.
+    L2ReadDone { core: usize, line: LineAddr },
+    /// A miss's data arrives at the requesting L2.
+    DataReady { core: usize, line: LineAddr, shared: bool },
+    /// An upper-level invalidation acknowledges (TC/TD Grant).
+    Grant { core: usize, slot: usize, line: LineAddr },
+}
+
+#[derive(Debug)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    fn push(&mut self, at: u64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, kind)));
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<EvKind> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= now => self.heap.pop().map(|Reverse((_, _, k))| k),
+            _ => None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// How a batch of L2 side effects reached the system, deciding the
+/// transport of write-backs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WbRoute {
+    /// Snoop flush: the data phase rides the in-progress bus transaction;
+    /// only the memory channel is charged.
+    SnoopFlush,
+    /// Victim eviction or turn-off: a separate bus transaction is queued.
+    Queued,
+}
+
+/// Adapter giving one core a view of its L1 and write buffer for a cycle.
+struct PortAdapter<'a> {
+    now: u64,
+    core: usize,
+    geom: Geometry,
+    l1_hit_latency: u64,
+    l1: &'a mut L1Cache,
+    wb: &'a mut WriteBuffer,
+    read_queue: &'a mut VecDeque<LineAddr>,
+    events: &'a mut EventQueue,
+}
+
+impl CorePort for PortAdapter<'_> {
+    fn try_load(&mut self, addr: u64, id: u64) -> bool {
+        let line = self.geom.line_of(addr);
+        match self.l1.access_load(line, PendingLoad { id, issued_at: self.now }) {
+            L1LoadOutcome::Hit => {
+                self.events.push(
+                    self.now + self.l1_hit_latency,
+                    EvKind::L1Hit { core: self.core, id, issued_at: self.now },
+                );
+                true
+            }
+            L1LoadOutcome::MissPrimary => {
+                self.read_queue.push_back(line);
+                true
+            }
+            L1LoadOutcome::MissSecondary => true,
+            L1LoadOutcome::Refused => false,
+        }
+    }
+
+    fn try_store(&mut self, addr: u64) -> bool {
+        let line = self.geom.line_of(addr);
+        if !self.wb.push(line) {
+            return false;
+        }
+        self.l1.access_store(line);
+        true
+    }
+}
+
+/// Snapshot of cumulative counters for interval differencing.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    instructions: u64,
+    l1_accesses: u64,
+    l2_reads: u64,
+    l2_writes: u64,
+    bus_transactions: u64,
+    bus_bytes: u64,
+    mem_bytes: u64,
+    decay_events: u64,
+}
+
+/// The simulated CMP.
+pub struct CmpSystem {
+    cfg: CmpConfig,
+    now: u64,
+    cores: Vec<CoreModel>,
+    workloads: Vec<Box<dyn Workload>>,
+    l1s: Vec<L1Cache>,
+    wbs: Vec<WriteBuffer>,
+    l2s: Vec<L2Cache>,
+    bus: SharedBus,
+    events: EventQueue,
+    read_queues: Vec<VecDeque<LineAddr>>,
+    write_retries: Vec<VecDeque<LineAddr>>,
+    fx: SideEffects,
+    // accounting
+    loads_completed: u64,
+    load_latency_sum: u64,
+    c2c_transfers: u64,
+    upper_invalidations: u64,
+    trace: Vec<IntervalActivity>,
+    last_snap: Snapshot,
+    interval_powered: u64,
+    interval_start: u64,
+}
+
+impl CmpSystem {
+    /// Build a system running one workload per core.
+    ///
+    /// # Panics
+    /// Panics unless exactly `cfg.n_cores` workloads are supplied, or if
+    /// the configuration is invalid.
+    pub fn new(cfg: CmpConfig, workloads: Vec<Box<dyn Workload>>) -> Self {
+        cfg.validate();
+        assert_eq!(workloads.len(), cfg.n_cores, "one workload per core");
+        let cores = (0..cfg.n_cores)
+            .map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core))
+            .collect();
+        let l1s = (0..cfg.n_cores).map(|_| L1Cache::new(&cfg.l1)).collect();
+        let wbs = (0..cfg.n_cores).map(|_| WriteBuffer::new(cfg.l1.write_buffer)).collect();
+        let l2s = (0..cfg.n_cores)
+            .map(|_| L2Cache::new(&cfg.l2, cfg.technique, cfg.shadow_tags))
+            .collect();
+        let bus = SharedBus::new(cfg.bus, cfg.mem, cfg.l2.line_bytes);
+        Self {
+            now: 0,
+            cores,
+            workloads,
+            l1s,
+            wbs,
+            l2s,
+            bus,
+            events: EventQueue::new(),
+            read_queues: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
+            write_retries: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
+            fx: SideEffects::default(),
+            loads_completed: 0,
+            load_latency_sum: 0,
+            c2c_transfers: 0,
+            upper_invalidations: 0,
+            trace: Vec::new(),
+            last_snap: Snapshot::default(),
+            interval_powered: 0,
+            interval_start: 0,
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Read-only access to an L2 (tests/examples).
+    pub fn l2(&self, core: usize) -> &L2Cache {
+        &self.l2s[core]
+    }
+
+    /// Run to completion (all cores drained, all queues empty) or to the
+    /// configured cycle cap, and return the statistics.
+    pub fn run(mut self) -> SimStats {
+        while !self.done() && self.now < self.cfg.max_cycles {
+            self.step_cycle();
+        }
+        self.finalize()
+    }
+
+    fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.drained())
+            && self.wbs.iter().all(|w| w.is_empty())
+            && self.write_retries.iter().all(|q| q.is_empty())
+            && self.read_queues.iter().all(|q| q.is_empty())
+            && self.l1s.iter().all(|l| l.outstanding_misses() == 0)
+            && self.l2s.iter().all(|l| !l.busy())
+            && self.bus.idle(self.now)
+            && self.events.is_empty()
+    }
+
+    fn step_cycle(&mut self) {
+        while let Some(ev) = self.events.pop_due(self.now) {
+            self.handle_event(ev);
+        }
+        self.bus_grant();
+        for core in 0..self.cfg.n_cores {
+            self.l2_cycle(core);
+        }
+        self.tick_cores();
+        self.sample_cycle();
+        self.now += 1;
+    }
+
+    // ---- events -----------------------------------------------------------
+
+    fn handle_event(&mut self, ev: EvKind) {
+        match ev {
+            EvKind::L1Hit { core, id, issued_at } => {
+                self.cores[core].on_load_complete(id);
+                self.loads_completed += 1;
+                self.load_latency_sum += self.now - issued_at;
+            }
+            EvKind::L2ReadDone { core, line } => {
+                self.deliver_to_l1(core, line);
+            }
+            EvKind::DataReady { core, line, shared } => {
+                let mut fx = std::mem::take(&mut self.fx);
+                fx.clear();
+                let (reads, writes, _installed) = self.l2s[core].fill(line, shared, self.now, &mut fx);
+                self.route_fx(core, &mut fx, WbRoute::Queued);
+                self.fx = fx;
+                if reads > 0 {
+                    self.deliver_to_l1(core, line);
+                }
+                if writes > 0 {
+                    self.issue_write_probe(core, line);
+                }
+            }
+            EvKind::Grant { core, slot, line } => {
+                let mut fx = std::mem::take(&mut self.fx);
+                fx.clear();
+                self.l2s[core].grant(slot, line, self.now, &mut fx);
+                self.route_fx(core, &mut fx, WbRoute::Queued);
+                self.fx = fx;
+            }
+        }
+    }
+
+    fn deliver_to_l1(&mut self, core: usize, line: LineAddr) {
+        let install = self.l2s[core].holds_valid(line);
+        let (waiting, evicted) = if install {
+            let r = self.l1s[core].fill(line);
+            self.l2s[core].set_in_l1(line, true);
+            r
+        } else {
+            (self.l1s[core].complete_without_install(line), None)
+        };
+        if let Some(ev) = evicted {
+            self.l2s[core].set_in_l1(ev, false);
+        }
+        for p in waiting {
+            self.cores[core].on_load_complete(p.id);
+            self.loads_completed += 1;
+            self.load_latency_sum += self.now - p.issued_at;
+        }
+    }
+
+    // ---- bus --------------------------------------------------------------
+
+    fn bus_grant(&mut self) {
+        let Some(req) = self.bus.try_grant(self.now) else {
+            return;
+        };
+        // Split-transaction conflict rule: a transaction touching a line
+        // whose data is in flight to another cache is NACKed and
+        // retried, so the in-flight fill installs before being snooped.
+        // (Entries merely *queued* behind us do not NACK — they will see
+        // our issued entry when their turn comes — so no deadlock.)
+        if !matches!(req.kind, BusReqKind::Writeback) {
+            let conflict = (0..self.cfg.n_cores)
+                .any(|j| j != req.origin && self.l2s[j].pending_issued(req.line));
+            if conflict {
+                self.bus.push(req);
+                return;
+            }
+        }
+        match req.kind {
+            BusReqKind::Writeback => {
+                self.bus.memory_writeback(self.now);
+            }
+            BusReqKind::Upgrade => {
+                self.snoop_others(req.origin, req.line, SnoopKind::BusRdX);
+                match self.l2s[req.origin].complete_upgrade(req.line, self.now) {
+                    UpgradeResult::Done => {}
+                    UpgradeResult::ConvertToMiss => {
+                        self.start_fill(req.origin, req.line, true);
+                    }
+                }
+            }
+            BusReqKind::ReadMiss | BusReqKind::WriteMiss => {
+                let exclusive = matches!(req.kind, BusReqKind::WriteMiss)
+                    || self.l2s[req.origin].pending_exclusive(req.line);
+                self.start_fill(req.origin, req.line, exclusive);
+            }
+        }
+    }
+
+    fn start_fill(&mut self, origin: usize, line: LineAddr, exclusive: bool) {
+        self.l2s[origin].mark_issued(line);
+        let kind = if exclusive { SnoopKind::BusRdX } else { SnoopKind::BusRd };
+        let (shared, supplied) = self.snoop_others(origin, line, kind);
+        let ready = if supplied {
+            self.c2c_transfers += 1;
+            self.bus.c2c_fill(self.now)
+        } else {
+            self.bus.memory_fill(self.now)
+        };
+        self.events.push(ready.max(self.now + 1), EvKind::DataReady { core: origin, line, shared });
+    }
+
+    fn snoop_others(&mut self, origin: usize, line: LineAddr, kind: SnoopKind) -> (bool, bool) {
+        let mut shared = false;
+        let mut supplied = false;
+        for j in 0..self.cfg.n_cores {
+            if j == origin {
+                continue;
+            }
+            let mut fx = std::mem::take(&mut self.fx);
+            fx.clear();
+            let reply = self.l2s[j].snoop(line, kind, self.now, &mut fx);
+            shared |= reply.assert_shared;
+            supplied |= reply.supply_data;
+            self.route_fx(j, &mut fx, WbRoute::SnoopFlush);
+            self.fx = fx;
+        }
+        (shared, supplied)
+    }
+
+    fn route_fx(&mut self, core: usize, fx: &mut SideEffects, route: WbRoute) {
+        for line in fx.writebacks.drain(..) {
+            match route {
+                WbRoute::SnoopFlush => self.bus.memory_writeback(self.now),
+                WbRoute::Queued => {
+                    self.bus.push(BusReq { origin: core, line, kind: BusReqKind::Writeback })
+                }
+            }
+        }
+        for (line, induced) in fx.upper_invals.drain(..) {
+            if self.l1s[core].invalidate(line, induced) {
+                self.upper_invalidations += 1;
+            }
+        }
+        for (due, slot, line) in fx.grants.drain(..) {
+            self.events.push(due.max(self.now + 1), EvKind::Grant { core, slot, line });
+        }
+    }
+
+    // ---- per-core L2 cycle --------------------------------------------------
+
+    fn l2_cycle(&mut self, core: usize) {
+        // Decay clock and turn-off processing.
+        let decayed = self.l2s[core].take_decayed(self.now);
+        for slot in decayed {
+            self.try_turn_off(core, slot);
+        }
+        let deferred = self.l2s[core].take_deferred_turnoffs();
+        for slot in deferred {
+            self.try_turn_off(core, slot);
+        }
+
+        // L2 ports: reads (latency-critical) first, then writes.
+        let mut ops = 0u32;
+        while ops < self.cfg.l2.ports {
+            let Some(&line) = self.read_queues[core].front() else {
+                break;
+            };
+            match self.l2s[core].probe_read(line) {
+                L2ReadOutcome::Hit => {
+                    self.read_queues[core].pop_front();
+                    let done = self.now + self.l2s[core].hit_latency();
+                    self.events.push(done, EvKind::L2ReadDone { core, line });
+                }
+                L2ReadOutcome::MissPrimary => {
+                    self.read_queues[core].pop_front();
+                    self.bus.push(BusReq { origin: core, line, kind: BusReqKind::ReadMiss });
+                }
+                L2ReadOutcome::MissSecondary => {
+                    self.read_queues[core].pop_front();
+                }
+                L2ReadOutcome::Retry => break,
+            }
+            ops += 1;
+        }
+        while ops < self.cfg.l2.ports {
+            let (line, from_retry) = if let Some(&line) = self.write_retries[core].front() {
+                (line, true)
+            } else if let Some(line) = self.wbs[core].head() {
+                (line, false)
+            } else {
+                break;
+            };
+            let outcome = self.issue_write_probe_inner(core, line);
+            match outcome {
+                L2WriteOutcome::Retry => break,
+                _ => {
+                    if from_retry {
+                        self.write_retries[core].pop_front();
+                    } else {
+                        self.wbs[core].pop();
+                    }
+                }
+            }
+            ops += 1;
+        }
+    }
+
+    fn try_turn_off(&mut self, core: usize, slot: usize) {
+        let Some(line) = self.l2s[core].line_at(slot) else {
+            return;
+        };
+        let pending = self.wbs[core].has_pending(line) || self.write_retries[core].contains(&line);
+        let mut fx = std::mem::take(&mut self.fx);
+        fx.clear();
+        self.l2s[core].turn_off(slot, self.now, pending, &mut fx);
+        self.route_fx(core, &mut fx, WbRoute::Queued);
+        self.fx = fx;
+    }
+
+    /// Probe a write that is no longer in the write buffer (re-issued
+    /// after a demoted/doomed fill); retries go to the retry queue.
+    fn issue_write_probe(&mut self, core: usize, line: LineAddr) {
+        match self.issue_write_probe_inner(core, line) {
+            L2WriteOutcome::Retry => self.write_retries[core].push_back(line),
+            _ => {}
+        }
+    }
+
+    fn issue_write_probe_inner(&mut self, core: usize, line: LineAddr) -> L2WriteOutcome {
+        let outcome = self.l2s[core].probe_write(line);
+        match outcome {
+            L2WriteOutcome::Done | L2WriteOutcome::MissSecondary => {}
+            L2WriteOutcome::UpgradeIssued => {
+                self.bus.push(BusReq { origin: core, line, kind: BusReqKind::Upgrade });
+            }
+            L2WriteOutcome::MissPrimary => {
+                self.bus.push(BusReq { origin: core, line, kind: BusReqKind::WriteMiss });
+            }
+            L2WriteOutcome::Retry => {}
+        }
+        outcome
+    }
+
+    // ---- cores ------------------------------------------------------------
+
+    fn tick_cores(&mut self) {
+        for core in 0..self.cfg.n_cores {
+            let mut port = PortAdapter {
+                now: self.now,
+                core,
+                geom: self.cfg.l1.geometry(),
+                l1_hit_latency: self.cfg.l1.hit_latency,
+                l1: &mut self.l1s[core],
+                wb: &mut self.wbs[core],
+                read_queue: &mut self.read_queues[core],
+                events: &mut self.events,
+            };
+            self.cores[core].tick(self.workloads[core].as_mut(), &mut port);
+        }
+    }
+
+    // ---- sampling -----------------------------------------------------------
+
+    fn counters(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        for c in &self.cores {
+            s.instructions += c.stats().instructions;
+        }
+        for l in &self.l1s {
+            let st = l.stats();
+            s.l1_accesses += st.loads + st.stores;
+        }
+        for l in &self.l2s {
+            let st = l.stats();
+            s.l2_reads += st.reads;
+            s.l2_writes += st.writes;
+            let d = l.decay_stats();
+            s.decay_events += d.increments + d.resets;
+        }
+        s.bus_transactions = self.bus.transactions;
+        s.bus_bytes = self.bus.bus_bytes;
+        s.mem_bytes = self.bus.mem_bytes;
+        s
+    }
+
+    fn sample_cycle(&mut self) {
+        self.interval_powered += self.l2s.iter().map(|l| l.powered_lines()).sum::<u64>();
+        let elapsed = self.now + 1 - self.interval_start;
+        if elapsed >= self.cfg.sample_interval {
+            self.close_interval(self.now + 1);
+        }
+    }
+
+    fn close_interval(&mut self, end: u64) {
+        let elapsed = end.saturating_sub(self.interval_start);
+        if elapsed == 0 {
+            return;
+        }
+        let snap = self.counters();
+        let lines_total: u64 = self.l2s.iter().map(|l| l.geometry().lines() as u64).sum();
+        self.trace.push(IntervalActivity {
+            cycles: elapsed,
+            instructions: snap.instructions - self.last_snap.instructions,
+            l1_accesses: snap.l1_accesses - self.last_snap.l1_accesses,
+            l2_reads: snap.l2_reads - self.last_snap.l2_reads,
+            l2_writes: snap.l2_writes - self.last_snap.l2_writes,
+            bus_transactions: snap.bus_transactions - self.last_snap.bus_transactions,
+            bus_bytes: snap.bus_bytes - self.last_snap.bus_bytes,
+            mem_bytes: snap.mem_bytes - self.last_snap.mem_bytes,
+            l2_powered_line_cycles: self.interval_powered,
+            l2_total_line_cycles: lines_total * elapsed,
+            decay_counter_events: snap.decay_events - self.last_snap.decay_events,
+        });
+        self.last_snap = snap;
+        self.interval_powered = 0;
+        self.interval_start = end;
+    }
+
+    fn finalize(mut self) -> SimStats {
+        self.close_interval(self.now);
+        let now = self.now;
+        let mut on = 0u64;
+        for l2 in &mut self.l2s {
+            on += l2.finish_on_cycles(now);
+        }
+        let lines_total: u64 = self.l2s.iter().map(|l| l.geometry().lines() as u64).sum();
+        SimStats {
+            cycles: now,
+            instructions: self.cores.iter().map(|c| c.stats().instructions).sum(),
+            l1: self.l1s.iter().map(|l| l.stats()).collect(),
+            l2: self.l2s.iter().map(|l| l.stats()).collect(),
+            l2_on_line_cycles: on,
+            l2_line_cycle_capacity: lines_total * now,
+            loads_completed: self.loads_completed,
+            load_latency_sum: self.load_latency_sum,
+            bus_transactions: self.bus.transactions,
+            bus_busy_cycles: self.bus.busy_cycles,
+            mem_fills: self.bus.mem_fills,
+            mem_writebacks: self.bus.mem_writebacks,
+            mem_bytes: self.bus.mem_bytes,
+            c2c_transfers: self.c2c_transfers,
+            upper_invalidations: self.upper_invalidations,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Convenience: build and run a system in one call.
+pub fn run_simulation(cfg: CmpConfig, workloads: Vec<Box<dyn Workload>>) -> SimStats {
+    CmpSystem::new(cfg, workloads).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpleak_coherence::Technique;
+    use cmpleak_cpu::{ReplayWorkload, TraceOp};
+
+    fn tiny_cfg(technique: Technique) -> CmpConfig {
+        let mut cfg = CmpConfig::default();
+        cfg.n_cores = 2;
+        cfg.l1.size_bytes = 1024;
+        cfg.l2.size_bytes = 64 * 1024;
+        cfg.technique = technique;
+        cfg.instructions_per_core = 20_000;
+        cfg.max_cycles = 10_000_000;
+        cfg.sample_interval = 1000;
+        cfg
+    }
+
+    fn private_streams() -> Vec<Box<dyn Workload>> {
+        // Each core strides over its own 16 KiB segment.
+        (0..2)
+            .map(|c| {
+                let base = (c as u64 + 1) << 20;
+                let ops: Vec<TraceOp> = (0..256)
+                    .flat_map(|i| {
+                        [
+                            TraceOp::Exec(3),
+                            TraceOp::Load(base + i * 64),
+                            TraceOp::Exec(2),
+                            TraceOp::Store(base + i * 64 + 8),
+                        ]
+                    })
+                    .collect();
+                Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+            })
+            .collect()
+    }
+
+    fn sharing_streams() -> Vec<Box<dyn Workload>> {
+        // Both cores hammer the same 4 KiB: lots of invalidations.
+        (0..2)
+            .map(|_| {
+                let ops: Vec<TraceOp> = (0..64)
+                    .flat_map(|i| {
+                        [TraceOp::Exec(2), TraceOp::Store(i * 64), TraceOp::Exec(2), TraceOp::Load(i * 64)]
+                    })
+                    .collect();
+                Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_run_completes_and_counts_instructions() {
+        let stats = run_simulation(tiny_cfg(Technique::Baseline), private_streams());
+        assert_eq!(stats.instructions, 40_000);
+        assert!(stats.cycles > 0 && stats.cycles < 2_000_000, "cycles = {}", stats.cycles);
+        assert!((stats.occupation_rate() - 1.0).abs() < 1e-12, "baseline is always on");
+        assert!(stats.ipc() > 0.1);
+    }
+
+    #[test]
+    fn private_streams_have_no_coherence_traffic() {
+        let stats = run_simulation(tiny_cfg(Technique::Baseline), private_streams());
+        let invals: u64 = stats.l2.iter().map(|s| s.snoop_invalidations).sum();
+        assert_eq!(invals, 0);
+        assert_eq!(stats.c2c_transfers, 0);
+    }
+
+    #[test]
+    fn sharing_streams_invalidate_and_supply_cache_to_cache() {
+        let stats = run_simulation(tiny_cfg(Technique::Baseline), sharing_streams());
+        let invals: u64 = stats.l2.iter().map(|s| s.snoop_invalidations).sum();
+        assert!(invals > 0, "write sharing must invalidate");
+        assert!(stats.c2c_transfers > 0, "M owners must supply data");
+    }
+
+    #[test]
+    fn protocol_gates_cold_and_invalidated_lines() {
+        let stats = run_simulation(tiny_cfg(Technique::Protocol), sharing_streams());
+        let occ = stats.occupation_rate();
+        assert!(occ < 0.5, "small working set: most lines stay cold, occ = {occ}");
+        let gated: u64 = stats.l2.iter().map(|s| s.turnoffs_protocol).sum();
+        assert!(gated > 0, "protocol must gate invalidated lines");
+    }
+
+    #[test]
+    fn protocol_does_not_change_cycle_count_much() {
+        let base = run_simulation(tiny_cfg(Technique::Baseline), private_streams());
+        let prot = run_simulation(tiny_cfg(Technique::Protocol), private_streams());
+        assert_eq!(base.instructions, prot.instructions);
+        let loss = 1.0 - base.cycles as f64 / prot.cycles as f64;
+        assert!(loss.abs() < 0.01, "protocol IPC loss should be ~0, got {loss}");
+    }
+
+    #[test]
+    fn decay_reduces_occupation_at_a_performance_cost() {
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        cfg.instructions_per_core = 60_000;
+        let base_cfg = {
+            let mut c = cfg;
+            c.technique = Technique::Baseline;
+            c
+        };
+        // Workload with dead lines: touch a big footprint once, then loop
+        // in a small hot set.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            (0..2)
+                .map(|c| {
+                    let base = (c as u64 + 1) << 20;
+                    let mut ops = Vec::new();
+                    for i in 0..512u64 {
+                        ops.push(TraceOp::Load(base + i * 64));
+                        ops.push(TraceOp::Exec(2));
+                    }
+                    let hot: Vec<TraceOp> = (0..16u64)
+                        .flat_map(|i| [TraceOp::Exec(3), TraceOp::Load(base + i * 64)])
+                        .collect();
+                    ops.extend(std::iter::repeat(hot).take(400).flatten());
+                    Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+                })
+                .collect()
+        };
+        let base = run_simulation(base_cfg, wl());
+        let decay = run_simulation(cfg, wl());
+        assert!(
+            decay.occupation_rate() < 0.4,
+            "decay occupation = {}",
+            decay.occupation_rate()
+        );
+        assert!(base.occupation_rate() == 1.0);
+        let turnoffs: u64 = decay.l2.iter().map(|s| s.turnoffs_decay).sum();
+        assert!(turnoffs > 0);
+    }
+
+    #[test]
+    fn trace_integrates_to_totals() {
+        let stats = run_simulation(tiny_cfg(Technique::Protocol), sharing_streams());
+        let trace_cycles: u64 = stats.trace.iter().map(|t| t.cycles).sum();
+        assert_eq!(trace_cycles, stats.cycles);
+        let trace_on: u64 = stats.trace.iter().map(|t| t.l2_powered_line_cycles).sum();
+        assert_eq!(trace_on, stats.l2_on_line_cycles, "trace must integrate to the occupancy total");
+        let trace_instr: u64 = stats.trace.iter().map(|t| t.instructions).sum();
+        assert_eq!(trace_instr, stats.instructions);
+        let trace_mem: u64 = stats.trace.iter().map(|t| t.mem_bytes).sum();
+        assert_eq!(trace_mem, stats.mem_bytes);
+    }
+
+    #[test]
+    fn determinism_same_config_same_stats() {
+        let a = run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
+        let b = run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem_bytes, b.mem_bytes);
+        assert_eq!(a.l2_on_line_cycles, b.l2_on_line_cycles);
+    }
+
+    #[test]
+    fn amat_reflects_l1_hits_mostly() {
+        let stats = run_simulation(tiny_cfg(Technique::Baseline), private_streams());
+        let amat = stats.amat();
+        assert!(amat >= 2.0, "amat {amat} must be at least the L1 hit latency");
+        assert!(amat < 60.0, "private strided loads should mostly hit, amat {amat}");
+    }
+}

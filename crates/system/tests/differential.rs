@@ -1,0 +1,115 @@
+//! Differential tests between techniques on identical workloads —
+//! invariants strong enough to catch almost any bookkeeping bug:
+//!
+//! * **Protocol is timing-invisible**: gating cold/invalidated lines
+//!   changes nothing architecturally, so a Protocol run must be
+//!   *bit-identical* in every timing statistic to the Baseline run.
+//! * **Baseline induces no misses**: the shadow directory replays
+//!   baseline behaviour, so under the Baseline technique the induced
+//!   miss count must be exactly zero; the same holds for Protocol.
+//! * **Decay only adds**: a decay run can only add misses, traffic and
+//!   cycles relative to baseline, never remove them.
+
+use cmpleak_coherence::Technique;
+use cmpleak_cpu::Workload;
+use cmpleak_system::{run_simulation, CmpConfig, SimStats};
+use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+
+fn run(technique: Technique, spec: WorkloadSpec, instr: u64) -> SimStats {
+    let mut cfg = CmpConfig::paper_system(1, technique);
+    cfg.instructions_per_core = instr;
+    let wls: Vec<Box<dyn Workload>> = (0..cfg.n_cores)
+        .map(|c| Box::new(GenerationalWorkload::new(spec, c, cfg.n_cores, 7)) as Box<dyn Workload>)
+        .collect();
+    run_simulation(cfg, wls)
+}
+
+#[test]
+fn protocol_is_timing_identical_to_baseline() {
+    for spec in [WorkloadSpec::mpeg2dec(), WorkloadSpec::water_ns()] {
+        let base = run(Technique::Baseline, spec, 150_000);
+        let prot = run(Technique::Protocol, spec, 150_000);
+        assert_eq!(base.cycles, prot.cycles, "{}", spec.name);
+        assert_eq!(base.mem_bytes, prot.mem_bytes);
+        assert_eq!(base.load_latency_sum, prot.load_latency_sum);
+        assert_eq!(base.bus_transactions, prot.bus_transactions);
+        for (b, p) in base.l2.iter().zip(&prot.l2) {
+            assert_eq!(b.reads, p.reads);
+            assert_eq!(b.writes, p.writes);
+            assert_eq!(b.misses, p.misses);
+            assert_eq!(b.writebacks, p.writebacks);
+        }
+        // Only the power bookkeeping may differ.
+        assert!(prot.occupation_rate() < base.occupation_rate());
+    }
+}
+
+#[test]
+fn baseline_and_protocol_induce_zero_misses() {
+    for technique in [Technique::Baseline, Technique::Protocol] {
+        let stats = run(technique, WorkloadSpec::fmm(), 120_000);
+        let induced: u64 = stats.l2.iter().map(|s| s.induced_misses).sum();
+        assert_eq!(induced, 0, "{technique:?} must not induce misses");
+    }
+}
+
+#[test]
+fn decay_only_adds_costs() {
+    let spec = WorkloadSpec::water_ns();
+    let base = run(Technique::Baseline, spec, 200_000);
+    let decay = run(Technique::Decay { decay_cycles: 16 * 1024 }, spec, 200_000);
+    assert!(decay.cycles >= base.cycles, "decay can only slow things down");
+    assert!(decay.mem_bytes >= base.mem_bytes, "decay can only add traffic");
+    assert!(decay.amat() >= base.amat() - 1e-9);
+    let (bm, dm): (u64, u64) = (
+        base.l2.iter().map(|s| s.misses).sum(),
+        decay.l2.iter().map(|s| s.misses).sum(),
+    );
+    assert!(dm >= bm, "decay can only add misses");
+    let induced: u64 = decay.l2.iter().map(|s| s.induced_misses).sum();
+    assert!(induced > 0, "aggressive decay on a revisiting workload must induce misses");
+}
+
+#[test]
+fn selective_decay_between_protocol_and_decay() {
+    let spec = WorkloadSpec::facerec();
+    let decay = run(Technique::Decay { decay_cycles: 16 * 1024 }, spec, 200_000);
+    let sel = run(Technique::SelectiveDecay { decay_cycles: 16 * 1024 }, spec, 200_000);
+    assert!(sel.cycles <= decay.cycles, "SD never slower than Decay");
+    assert!(sel.mem_bytes <= decay.mem_bytes, "SD never more traffic than Decay");
+    assert!(
+        sel.occupation_rate() >= decay.occupation_rate(),
+        "SD gates at most as much as Decay"
+    );
+    // SD's dirty decays are zero by construction.
+    let dirty: u64 = sel.l2.iter().map(|s| s.dirty_decay_turnoffs).sum();
+    assert_eq!(dirty, 0, "Selective Decay must never decay a Modified line");
+}
+
+#[test]
+fn decay_interval_monotonicity() {
+    let spec = WorkloadSpec::volrend();
+    let slow = run(Technique::Decay { decay_cycles: 128 * 1024 }, spec, 200_000);
+    let fast = run(Technique::Decay { decay_cycles: 8 * 1024 }, spec, 200_000);
+    assert!(fast.occupation_rate() <= slow.occupation_rate(), "shorter interval gates more");
+    assert!(fast.cycles >= slow.cycles, "shorter interval costs at least as much time");
+    let (sf, ss): (u64, u64) = (
+        fast.l2.iter().map(|s| s.turnoffs_decay).sum(),
+        slow.l2.iter().map(|s| s.turnoffs_decay).sum(),
+    );
+    assert!(sf >= ss, "shorter interval fires more turn-offs");
+}
+
+#[test]
+fn gated_vdd_access_penalty_is_visible() {
+    // Decay caches pay +1 cycle per L2 hit; with an enormous interval no
+    // line ever decays, so the only difference vs. baseline is the
+    // access penalty — cycles may grow slightly, never shrink.
+    let spec = WorkloadSpec::mpeg2enc();
+    let base = run(Technique::Baseline, spec, 100_000);
+    let decay = run(Technique::Decay { decay_cycles: u64::MAX / 8 }, spec, 100_000);
+    let turnoffs: u64 = decay.l2.iter().map(|s| s.turnoffs_decay).sum();
+    assert_eq!(turnoffs, 0, "interval too long to fire in this run");
+    assert!(decay.cycles >= base.cycles);
+    assert!(decay.amat() > base.amat(), "the +1 hit latency must show in AMAT");
+}

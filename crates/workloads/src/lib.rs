@@ -1,0 +1,32 @@
+//! Synthetic multi-threaded reference generators.
+//!
+//! The paper drives its simulator with three SPLASH-2 scientific
+//! applications (WATER-NS, FMM, VOLREND) and three ALPbench multimedia
+//! applications (mpeg2enc, mpeg2dec, facerec). Those binaries and their
+//! traces are not available here, so — per the substitution rule recorded
+//! in DESIGN.md — this crate generates *synthetic* per-core reference
+//! streams exposing exactly the properties the paper's techniques exploit
+//! and suffer from:
+//!
+//! * **generational line behaviour** (Kaxiras): lines are accessed in
+//!   live bursts, then sit dead until eviction — the fuel of cache decay;
+//! * **reuse distance structure**: scientific codes revisit their working
+//!   set after long gaps (longer than the decay interval → decay-induced
+//!   misses → IPC loss), multimedia codes stream and rarely revisit;
+//! * **sharing & migration**: epochs of producer–consumer traffic on
+//!   shared regions generate the coherence invalidations that the
+//!   *Protocol* technique converts into leakage savings;
+//! * **write intensity**: the write-through L1 makes the L2 access stream
+//!   store-dominated (§VI of the paper), and stores create the Modified
+//!   lines whose decay is costly (write-back + upper-level invalidation).
+//!
+//! Streams are deterministic functions of `(benchmark, core, seed)` —
+//! the whole simulator is bit-reproducible.
+
+pub mod generator;
+pub mod rng;
+pub mod spec;
+
+pub use generator::GenerationalWorkload;
+pub use rng::Xoshiro256pp;
+pub use spec::{BenchClass, WorkloadSpec};

@@ -1,0 +1,154 @@
+//! Small, fast, deterministic PRNG for trace generation.
+//!
+//! xoshiro256++ seeded through SplitMix64 (the reference seeding
+//! procedure). A local implementation keeps the hot generation loop free
+//! of trait-object indirection and keeps streams stable across toolchain
+//! and dependency upgrades — important because the experiment tables in
+//! EXPERIMENTS.md must be regenerable bit-for-bit. (The `rand` crate is
+//! still used in tests for convenience.)
+
+/// SplitMix64: expands a single `u64` seed into a well-mixed stream; used
+/// only to seed xoshiro.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference
+/// algorithm).
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64; any `u64` (including 0) is a valid seed.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = SplitMix64(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)` via Lemire's multiply-shift reduction
+    /// (bias is negligible for the bounds used here and the reduction is
+    /// branch-free — this is a trace generator, not a crypto source).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+/// Stateless 64-bit mixer (SplitMix64 finaliser) for deriving pseudo
+/// random but reproducible values from composite keys, e.g. the writer
+/// core of a shared region in a given epoch.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Xoshiro256pp::seeded(42);
+        let mut b = Xoshiro256pp::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256pp::seeded(1);
+        let mut b = Xoshiro256pp::seeded(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Xoshiro256pp::seeded(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut r = Xoshiro256pp::seeded(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(3, 5) {
+                3 => seen_lo = true,
+                5 => seen_hi = true,
+                4 => {}
+                x => panic!("out of range: {x}"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Xoshiro256pp::seeded(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn mix64_spreads_consecutive_keys() {
+        // Adjacent keys must not map to adjacent outputs.
+        let a = mix64(1000);
+        let b = mix64(1001);
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests over the whole benchmark suite: determinism, address
+//! partitioning and structural invariants must hold for every preset,
+//! core id and seed.
+
+use cmpleak_cpu::{TraceOp, Workload};
+use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+use proptest::prelude::*;
+
+const SHARED_BASE: u64 = 1 << 44;
+
+fn suite_index() -> impl Strategy<Value = usize> {
+    0usize..6
+}
+
+fn take(spec: WorkloadSpec, core: usize, seed: u64, n: usize) -> Vec<TraceOp> {
+    let mut w = GenerationalWorkload::new(spec, core, 4, seed);
+    (0..n).map(|_| w.next_op()).collect()
+}
+
+proptest! {
+    /// Identical (spec, core, seed) triples produce identical streams;
+    /// changing any component changes the stream.
+    #[test]
+    fn streams_are_deterministic_and_distinct(
+        idx in suite_index(),
+        core in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = WorkloadSpec::paper_suite()[idx];
+        let a = take(spec, core, seed, 2000);
+        let b = take(spec, core, seed, 2000);
+        prop_assert_eq!(&a, &b);
+        let other_core = take(spec, (core + 1) % 4, seed, 2000);
+        prop_assert_ne!(&a, &other_core, "cores must diverge");
+        let other_seed = take(spec, core, seed ^ 0xDEAD_BEEF, 2000);
+        prop_assert_ne!(&a, &other_seed, "seeds must diverge");
+    }
+
+    /// Private addresses live in the issuing core's segment; shared
+    /// addresses live in the shared segment within the configured number
+    /// of regions. Every op is well-formed.
+    #[test]
+    fn address_partitioning_holds(
+        idx in suite_index(),
+        core in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let spec = WorkloadSpec::paper_suite()[idx];
+        let ops = take(spec, core, seed, 20_000);
+        let shared_limit = SHARED_BASE + (spec.shared_regions * spec.region_bytes) as u64;
+        let mut mem_ops = 0u64;
+        for op in &ops {
+            match op {
+                TraceOp::Exec(n) => prop_assert!(*n >= 1 && *n <= 16),
+                TraceOp::Load(a) | TraceOp::Store(a) => {
+                    mem_ops += 1;
+                    prop_assert_eq!(a % 8, 0, "word aligned");
+                    if *a >= SHARED_BASE {
+                        prop_assert!(*a < shared_limit, "shared segment bound");
+                    } else {
+                        prop_assert_eq!(a >> 36, core as u64 + 1, "private segment owner");
+                    }
+                }
+            }
+        }
+        prop_assert!(mem_ops > 0, "stream must contain memory traffic");
+    }
+
+    /// Shared stores only come from the epoch's producer: replaying the
+    /// same window on two cores, stores to a shared region never appear
+    /// on both within the same epoch window.
+    #[test]
+    fn shared_writes_are_single_producer_per_window(
+        idx in suite_index(),
+        seed in 0u64..10_000,
+    ) {
+        let spec = WorkloadSpec::paper_suite()[idx];
+        // Collect shared-store region sets per core over a window small
+        // enough to stay within one epoch (epochs are >= 15_000 mem ops).
+        let mut writers_per_region: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for core in 0..4 {
+            let mut w = GenerationalWorkload::new(spec, core, 4, seed);
+            let mut seen_mem = 0u64;
+            while seen_mem < 4000 {
+                match w.next_op() {
+                    TraceOp::Store(a) if a >= SHARED_BASE => {
+                        let region = (a - SHARED_BASE) / spec.region_bytes as u64;
+                        writers_per_region.entry(region).or_default().insert(core);
+                        seen_mem += 1;
+                    }
+                    TraceOp::Load(_) => seen_mem += 1,
+                    TraceOp::Store(_) => seen_mem += 1,
+                    TraceOp::Exec(_) => {}
+                }
+            }
+        }
+        for (region, writers) in writers_per_region {
+            prop_assert!(
+                writers.len() <= 1,
+                "region {region} written by {writers:?} within one epoch window"
+            );
+        }
+    }
+}

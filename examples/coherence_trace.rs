@@ -1,0 +1,87 @@
+//! Trace the MESI + turn-off state machine of the paper's Fig. 2
+//! through the scenarios §III discusses, printing each transition.
+//!
+//! ```text
+//! cargo run --example coherence_trace
+//! ```
+
+use cmp_leakage::coherence::bus::SnoopKind;
+use cmp_leakage::coherence::mesi::{fill_state, step, Event, MesiState, SnoopContext};
+
+struct TracedLine {
+    state: MesiState,
+    name: &'static str,
+}
+
+impl TracedLine {
+    fn new(name: &'static str, state: MesiState) -> Self {
+        println!("[{name}] starts in {}", state.label());
+        Self { state, name }
+    }
+
+    fn apply(&mut self, what: &str, event: Event, ctx: SnoopContext) {
+        let t = step(self.state, event, ctx);
+        let mut actions = Vec::new();
+        if t.supply_data {
+            actions.push("flush data");
+        }
+        if t.writeback {
+            actions.push("write back to memory");
+        }
+        if t.invalidate_upper {
+            actions.push("invalidate L1 copy");
+        }
+        if t.assert_shared {
+            actions.push("assert shared wire");
+        }
+        if t.gate {
+            actions.push("GATE (power off)");
+        }
+        if t.protocol_invalidation {
+            actions.push("protocol invalidation (gate if Protocol technique)");
+        }
+        if t.deferred {
+            actions.push("DEFERRED (wait for stationary state)");
+        }
+        let next = t.next.unwrap_or(self.state);
+        println!(
+            "[{}] {:24} {} -> {}   {}",
+            self.name,
+            what,
+            self.state.label(),
+            next.label(),
+            if actions.is_empty() { "-".to_string() } else { actions.join(", ") }
+        );
+        self.state = next;
+    }
+}
+
+fn main() {
+    let alone = SnoopContext { upper_has_copy: false, pending_write: false };
+    let with_l1 = SnoopContext { upper_has_copy: true, pending_write: false };
+
+    println!("=== scenario 1: clean line decays (free turn-off) ===");
+    let mut a = TracedLine::new("core0/L2", fill_state(false, false)); // E after read miss
+    a.apply("local read", Event::PrRead, alone);
+    a.apply("decay turn-off", Event::TurnOff, alone);
+
+    println!("\n=== scenario 2: Modified line decays with an L1 copy (the costly path) ===");
+    let mut b = TracedLine::new("core1/L2", fill_state(false, true)); // M after write miss
+    b.apply("local write", Event::PrWrite, with_l1);
+    b.apply("decay turn-off", Event::TurnOff, with_l1);
+    b.apply("turn-off again (busy)", Event::TurnOff, with_l1);
+    b.apply("L1 invalidation acks", Event::Grant, alone);
+
+    println!("\n=== scenario 3: protocol invalidation feeds the Protocol technique ===");
+    let mut c = TracedLine::new("core2/L2", MesiState::Shared);
+    c.apply("snoop BusRd", Event::Snoop(SnoopKind::BusRd), alone);
+    c.apply("snoop BusRdX (other writes)", Event::Snoop(SnoopKind::BusRdX), alone);
+
+    println!("\n=== scenario 4: dirty owner services a read, then an upgrade ===");
+    let mut d = TracedLine::new("core3/L2", MesiState::Modified);
+    d.apply("snoop BusRd", Event::Snoop(SnoopKind::BusRd), alone);
+    d.apply("local write (needs bus)", Event::PrWrite, alone);
+
+    println!("\nLegend: M/E/S/I as in MESI; TC/TD = Transient Clean/Dirty (line is");
+    println!("being invalidated in the upper level before it may be gated).");
+}

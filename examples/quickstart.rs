@@ -1,0 +1,53 @@
+//! Quickstart: simulate a 4-core CMP with a decaying private L2 and
+//! print the paper's key metrics against the always-on baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cmp_leakage::core::metrics::TechniqueMetrics;
+use cmp_leakage::core::{run_experiment, ExperimentConfig, Technique, WorkloadSpec};
+
+fn main() {
+    // The system of the paper's Fig. 1: four cores, private write-through
+    // L1s, private inclusive snoopy-MESI L2s (4 MB total), shared bus.
+    let mut cfg = ExperimentConfig::paper(
+        WorkloadSpec::water_ns(),
+        Technique::Baseline,
+        4, // MB of total L2
+    );
+    cfg.instructions_per_core = 1_000_000;
+
+    println!("simulating baseline (always-on L2) ...");
+    let baseline = run_experiment(&cfg);
+    println!(
+        "  {} cycles, IPC {:.2}, L2 miss rate {:.3}, AMAT {:.1} cycles",
+        baseline.stats.cycles,
+        baseline.stats.ipc(),
+        baseline.stats.l2_miss_rate(),
+        baseline.stats.amat()
+    );
+    println!(
+        "  system energy {:.2} µJ, avg L2 temperature {:.1} °C",
+        baseline.power.energy.total_pj() / 1e6,
+        baseline.power.avg_l2_temp_c
+    );
+
+    for technique in [
+        Technique::Protocol,
+        Technique::Decay { decay_cycles: 128 * 1024 },
+        Technique::SelectiveDecay { decay_cycles: 128 * 1024 },
+    ] {
+        cfg.technique = technique;
+        let r = run_experiment(&cfg);
+        let m = TechniqueMetrics::compare(&baseline, &r);
+        println!("\ntechnique: {}", r.technique);
+        println!("  L2 occupation        {:6.1}%  (baseline: 100%)", m.occupation * 100.0);
+        println!("  energy reduction     {:6.1}%", m.energy_reduction * 100.0);
+        println!("  IPC loss             {:6.2}%", m.ipc_loss * 100.0);
+        println!("  memory bandwidth     {:+6.1}%", m.bandwidth_increase * 100.0);
+        println!("  AMAT                 {:+6.1}%", m.amat_increase * 100.0);
+    }
+
+    println!("\n(the `repro` binary regenerates every figure of the paper: `cargo run --release -p cmpleak-bench --bin repro -- all`)");
+}

@@ -1,0 +1,50 @@
+//! Compare all seven technique configurations of the paper on one
+//! benchmark, across two cache sizes — a miniature of Figures 3–5.
+//!
+//! ```text
+//! cargo run --release --example technique_shootout [benchmark]
+//! ```
+//! Benchmarks: mpeg2enc, mpeg2dec, facerec, WATER-NS, FMM, VOLREND.
+
+use cmp_leakage::core::adaptive::relative_edp;
+use cmp_leakage::core::metrics::TechniqueMetrics;
+use cmp_leakage::core::{run_experiment, ExperimentConfig, Technique, WorkloadSpec};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FMM".into());
+    let spec = WorkloadSpec::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; try FMM, WATER-NS, VOLREND, mpeg2enc, mpeg2dec, facerec");
+        std::process::exit(2);
+    });
+    println!("benchmark: {} ({:?})", spec.name, spec.class);
+
+    for total_mb in [1usize, 4] {
+        let mut cfg = ExperimentConfig::paper(spec, Technique::Baseline, total_mb);
+        cfg.instructions_per_core = 1_500_000;
+        let base = run_experiment(&cfg);
+        println!(
+            "\n[{total_mb} MB total L2]  baseline: IPC {:.2}, energy {:.2} µJ",
+            base.stats.ipc(),
+            base.power.energy.total_pj() / 1e6
+        );
+        println!(
+            "  {:>14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "technique", "occ", "energy", "ipc", "bw", "edp"
+        );
+        for technique in Technique::paper_set() {
+            cfg.technique = technique;
+            let r = run_experiment(&cfg);
+            let m = TechniqueMetrics::compare(&base, &r);
+            println!(
+                "  {:>14} {:>7.1}% {:>7.1}% {:>7.2}% {:>+7.1}% {:>8.3}",
+                r.technique,
+                m.occupation * 100.0,
+                m.energy_reduction * 100.0,
+                m.ipc_loss * 100.0,
+                m.bandwidth_increase * 100.0,
+                relative_edp(&m)
+            );
+        }
+    }
+    println!("\ncolumns: occupation, energy reduction, IPC loss, memory-bandwidth increase, relative energy-delay product (<1 beats baseline)");
+}

@@ -1,0 +1,86 @@
+//! # cmp-leakage
+//!
+//! A reproduction, as a production-quality Rust workspace, of
+//! *Monchiero, Canal, González — "Using Coherence Information and Decay
+//! Techniques to Optimize L2 Cache Leakage in CMPs"* (ICPP 2009).
+//!
+//! The paper proposes three Gated-Vdd leakage-saving techniques for the
+//! private, inclusive, snoopy-MESI L2 caches of a chip multiprocessor:
+//! **Protocol** (gate lines the coherence protocol invalidates anyway),
+//! **Decay** (fixed-interval cache decay adapted to a coherent L2 via
+//! the TC/TD transient states of its Fig. 2), and **Selective Decay**
+//! (decay armed only on transitions into clean states, so Modified
+//! lines never pay the write-back + L1-invalidate turn-off cost).
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`mem`] | `cmpleak-mem` | tag arrays, MSHRs, write buffers, decay counters |
+//! | [`coherence`] | `cmpleak-coherence` | MESI+TC/TD (Fig. 2), Table I, MOESI, techniques |
+//! | [`cpu`] | `cmpleak-cpu` | core timing model, trace/workload contract |
+//! | [`workloads`] | `cmpleak-workloads` | synthetic SPLASH-2/ALPbench-class generators |
+//! | [`system`] | `cmpleak-system` | the cycle-level CMP simulator (Fig. 1) |
+//! | [`power`] | `cmpleak-power` | energy, thermal RC model, Liao-style leakage |
+//! | [`core`] | `cmpleak-core` | experiments, metrics, sweeps, figure builders |
+//!
+//! ## Quickstart
+//!
+//! Run one experiment and compare a technique against the baseline:
+//!
+//! ```
+//! use cmp_leakage::core::{run_experiment, ExperimentConfig, Technique, WorkloadSpec};
+//! use cmp_leakage::core::metrics::TechniqueMetrics;
+//!
+//! let mut cfg = ExperimentConfig::paper(
+//!     WorkloadSpec::mpeg2dec(),
+//!     Technique::Baseline,
+//!     1, // 1 MB total L2
+//! );
+//! cfg.instructions_per_core = 50_000; // keep the doc test quick
+//! let baseline = run_experiment(&cfg);
+//!
+//! cfg.technique = Technique::SelectiveDecay { decay_cycles: 64 * 1024 };
+//! let sd = run_experiment(&cfg);
+//!
+//! let m = TechniqueMetrics::compare(&baseline, &sd);
+//! assert!(m.occupation < 1.0, "some lines were gated");
+//! assert!(m.ipc_loss < 0.2, "selective decay is performance-friendly");
+//! ```
+//!
+//! Reproduce a whole paper figure (reduced scale shown; the `repro`
+//! binary runs the full grid):
+//!
+//! ```
+//! use cmp_leakage::core::figures::FigureSet;
+//! use cmp_leakage::core::sweep::{run_sweep, SweepConfig};
+//!
+//! let results = run_sweep(&SweepConfig::smoke(30_000));
+//! let figs = FigureSet::new(&results);
+//! println!("{}", figs.fig5a()); // energy reduction table
+//! ```
+
+pub use cmpleak_coherence as coherence;
+pub use cmpleak_core as core;
+pub use cmpleak_cpu as cpu;
+pub use cmpleak_mem as mem;
+pub use cmpleak_power as power;
+pub use cmpleak_system as system;
+pub use cmpleak_workloads as workloads;
+
+/// Workspace version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        // Types from different crates must interoperate through the
+        // facade paths.
+        let spec = crate::workloads::WorkloadSpec::fmm();
+        let tech = crate::coherence::Technique::Protocol;
+        let cfg = crate::core::ExperimentConfig::paper(spec, tech, 1);
+        assert_eq!(cfg.n_cores, 4);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Shape tests against the paper's qualitative claims (§VI/§VII).
+//!
+//! These run a reduced-scale grid (one scientific + one multimedia
+//! benchmark, two cache sizes, ~0.8M instructions per core) and assert
+//! the *orderings and trends* the paper reports — who wins, in which
+//! direction each metric moves — not absolute numbers. The full-scale
+//! equivalents are in EXPERIMENTS.md via the `repro` binary.
+
+use cmp_leakage::core::figures::FigureSet;
+use cmp_leakage::core::sweep::{run_sweep, SweepConfig, SweepResults};
+use cmp_leakage::core::{Technique, WorkloadSpec};
+use std::sync::OnceLock;
+
+fn grid() -> &'static SweepResults {
+    static GRID: OnceLock<SweepResults> = OnceLock::new();
+    GRID.get_or_init(|| {
+        run_sweep(&SweepConfig {
+            benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+            sizes_mb: vec![1, 4],
+            techniques: vec![
+                Technique::Protocol,
+                Technique::Decay { decay_cycles: 512 * 1024 },
+                Technique::Decay { decay_cycles: 64 * 1024 },
+                Technique::SelectiveDecay { decay_cycles: 512 * 1024 },
+                Technique::SelectiveDecay { decay_cycles: 64 * 1024 },
+            ],
+            instructions_per_core: 800_000,
+            seed: 42,
+            n_cores: 4,
+            threads: 0,
+        })
+    })
+}
+
+fn mean(tech: &str, size: usize) -> cmp_leakage::core::TechniqueMetrics {
+    grid().mean_over_benchmarks(tech, size).expect("cell present")
+}
+
+#[test]
+fn occupation_ordering_matches_fig3a() {
+    for size in [1, 4] {
+        let protocol = mean("protocol", size).occupation;
+        let decay = mean("decay64K", size).occupation;
+        let sel = mean("sel_decay64K", size).occupation;
+        assert!(decay < protocol, "decay gates more than protocol at {size}MB");
+        assert!(sel <= protocol, "selective decay gates more than protocol at {size}MB");
+        assert!(decay <= sel + 1e-9, "plain decay is the most aggressive at {size}MB");
+        assert!(protocol < 1.0);
+    }
+}
+
+#[test]
+fn occupation_falls_with_cache_size_fixed_workload() {
+    // §VI: "since the workload is fixed for various cache sizes, the
+    // occupation rate decreases as the size increases."
+    for tech in ["protocol", "decay512K", "sel_decay512K"] {
+        assert!(
+            mean(tech, 4).occupation < mean(tech, 1).occupation,
+            "{tech} occupancy must fall from 1MB to 4MB"
+        );
+    }
+}
+
+#[test]
+fn miss_rate_is_technique_dominated_like_fig3b() {
+    for size in [1, 4] {
+        let protocol = mean("protocol", size).l2_miss_rate;
+        let decay = mean("decay64K", size).l2_miss_rate;
+        assert!(
+            decay > protocol,
+            "more aggressive decay -> higher miss rate at {size}MB"
+        );
+    }
+    // Decay-induced misses exist and are classified.
+    assert!(mean("decay64K", 4).induced_miss_rate > 0.0);
+    assert!(mean("protocol", 4).induced_miss_rate < 1e-4);
+}
+
+#[test]
+fn bandwidth_follows_fig4a() {
+    // Protocol never adds traffic.
+    for size in [1, 4] {
+        assert!(mean("protocol", size).bandwidth_increase.abs() < 0.01);
+    }
+    // Decay's bandwidth overhead grows with cache size...
+    assert!(mean("decay512K", 4).bandwidth_increase > mean("decay512K", 1).bandwidth_increase);
+    // ...and selective decay costs no more than decay (it avoids the
+    // dirty turn-off write-backs).
+    assert!(
+        mean("sel_decay64K", 4).bandwidth_increase
+            <= mean("decay64K", 4).bandwidth_increase + 1e-9
+    );
+}
+
+#[test]
+fn amat_follows_fig4b() {
+    for size in [1, 4] {
+        assert!(mean("protocol", size).amat_increase.abs() < 0.01, "protocol AMAT untouched");
+        assert!(
+            mean("sel_decay64K", size).amat_increase
+                <= mean("decay64K", size).amat_increase + 1e-9,
+            "selective decay has better AMAT at {size}MB"
+        );
+    }
+}
+
+#[test]
+fn energy_follows_fig5a() {
+    // Savings grow with cache size (the optimised fraction grows).
+    for tech in ["protocol", "decay512K", "sel_decay512K"] {
+        assert!(
+            mean(tech, 4).energy_reduction > mean(tech, 1).energy_reduction,
+            "{tech} saves more at 4MB than at 1MB"
+        );
+    }
+    // Decay saves the most at 4MB; protocol the least of the three
+    // families; everything saves something at 4MB.
+    let p = mean("protocol", 4).energy_reduction;
+    let d = mean("decay64K", 4).energy_reduction;
+    let s = mean("sel_decay64K", 4).energy_reduction;
+    assert!(d > p, "decay out-saves protocol at 4MB");
+    assert!(s > p, "selective decay out-saves protocol at 4MB");
+    assert!(d >= s - 0.02, "plain decay saves at least about as much as selective");
+    assert!(p > 0.0);
+}
+
+#[test]
+fn ipc_follows_fig5b() {
+    for size in [1, 4] {
+        let p = mean("protocol", size).ipc_loss;
+        assert!(p.abs() < 0.005, "protocol is performance-free, got {p} at {size}MB");
+        let d512 = mean("decay512K", size).ipc_loss;
+        let d64 = mean("decay64K", size).ipc_loss;
+        assert!(d64 >= d512, "shorter decay interval costs more IPC at {size}MB");
+        let s64 = mean("sel_decay64K", size).ipc_loss;
+        assert!(s64 <= d64 + 1e-9, "selective decay never loses more IPC than decay");
+    }
+}
+
+#[test]
+fn scientific_codes_suffer_more_than_multimedia_like_fig6b() {
+    let water = grid().cell("WATER-NS", "decay64K", 4).unwrap().metrics.ipc_loss;
+    let mpeg = grid().cell("mpeg2dec", "decay64K", 4).unwrap().metrics.ipc_loss;
+    assert!(
+        water > mpeg,
+        "scientific {water} must lose more IPC than multimedia {mpeg}"
+    );
+}
+
+#[test]
+fn figures_render_for_the_reduced_grid() {
+    let figs = FigureSet::new(grid());
+    for f in figs.all_by_size() {
+        let text = f.to_string();
+        assert!(text.contains(f.id));
+        assert!(!text.is_empty());
+    }
+    let headline = figs.headline(4);
+    assert_eq!(headline.len(), 3);
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the MESI+turn-off state machine (Fig. 2):
+//! arbitrary event sequences must never violate the protocol's safety
+//! invariants.
+
+use cmp_leakage::coherence::bus::SnoopKind;
+use cmp_leakage::coherence::mesi::{step, Event, MesiState, SnoopContext};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        Just(Event::PrRead),
+        Just(Event::PrWrite),
+        Just(Event::Snoop(SnoopKind::BusRd)),
+        Just(Event::Snoop(SnoopKind::BusRdX)),
+        Just(Event::TurnOff),
+        Just(Event::Grant),
+    ]
+}
+
+fn arb_ctx() -> impl Strategy<Value = SnoopContext> {
+    (any::<bool>(), any::<bool>())
+        .prop_map(|(upper_has_copy, pending_write)| SnoopContext { upper_has_copy, pending_write })
+}
+
+proptest! {
+    /// Under any event sequence: clean states never write back, data is
+    /// only supplied from dirty states, gating and protocol invalidation
+    /// are mutually exclusive reasons, and upper-level invalidation
+    /// always leads to a transient that later resolves to Invalid.
+    #[test]
+    fn safety_invariants_hold_for_any_sequence(
+        events in proptest::collection::vec((arb_event(), arb_ctx()), 1..200)
+    ) {
+        let mut state = MesiState::Invalid;
+        let mut pending_grant = false;
+        for (ev, ctx) in events {
+            let was_dirty = state.is_dirty();
+            let was_stationary = state.is_stationary();
+            let t = step(state, ev, ctx);
+
+            if t.writeback {
+                prop_assert!(was_dirty, "write-back from clean state {state:?} on {ev:?}");
+            }
+            if t.supply_data {
+                prop_assert!(was_dirty, "data supplied from non-owner {state:?}");
+            }
+            prop_assert!(!(t.gate && t.protocol_invalidation),
+                "a transition has exactly one invalidation reason");
+            if t.deferred {
+                prop_assert!(!was_stationary, "stationary states never defer");
+                prop_assert!(t.next.is_none(), "deferred events change nothing");
+            }
+            if t.invalidate_upper {
+                prop_assert!(matches!(t.next,
+                    Some(MesiState::TransientClean(_)) | Some(MesiState::TransientDirty(_))),
+                    "upper invalidation implies a transient next state");
+                pending_grant = true;
+            }
+            if let Some(next) = t.next {
+                if !next.is_stationary() {
+                    prop_assert!(was_stationary, "transients are entered from stationary states");
+                }
+                if state == MesiState::Invalid {
+                    // The FSM never resurrects a line by itself; fills go
+                    // through the controller's fill path.
+                    prop_assert!(next == MesiState::Invalid,
+                        "invalid lines only leave I via controller fills");
+                }
+                state = next;
+            }
+            if ev == Event::Grant && !state.is_stationary() {
+                // A grant on a transient always completes it.
+                prop_assert!(false, "grant must resolve transients");
+            }
+            if state.is_stationary() {
+                pending_grant = false;
+            }
+        }
+        // No sequence may park the machine in a transient without a
+        // pending grant having been requested at some point.
+        if !state.is_stationary() {
+            prop_assert!(pending_grant);
+        }
+    }
+
+    /// Gating only ever happens on the way to (or at) Invalid.
+    #[test]
+    fn gating_implies_invalid(
+        events in proptest::collection::vec((arb_event(), arb_ctx()), 1..200)
+    ) {
+        let mut state = MesiState::Exclusive;
+        for (ev, ctx) in events {
+            let t = step(state, ev, ctx);
+            if t.gate {
+                prop_assert!(t.next == Some(MesiState::Invalid) || state == MesiState::Invalid);
+            }
+            if let Some(n) = t.next { state = n; }
+        }
+    }
+
+    /// A line bounced between reads/writes/snoops without turn-offs never
+    /// enters a transient unless an upper-level copy forces the detour.
+    #[test]
+    fn no_spurious_transients_without_upper_copies(
+        events in proptest::collection::vec(arb_event(), 1..100)
+    ) {
+        let ctx = SnoopContext { upper_has_copy: false, pending_write: false };
+        let mut state = MesiState::Modified;
+        for ev in events {
+            let t = step(state, ev, ctx);
+            if let Some(n) = t.next {
+                prop_assert!(n.is_stationary(),
+                    "without L1 copies every transition is direct, got {n:?}");
+                state = n;
+            }
+        }
+    }
+}
