@@ -10,12 +10,12 @@
 //! Each group prints its measurement table once (the numbers are the
 //! point; timing just keeps criterion honest about the cost).
 
+use cmpleak_coherence::bus::SnoopKind;
+use cmpleak_coherence::{mesi, moesi};
 use cmpleak_core::adaptive::{oracle_advantage, oracle_pick, relative_edp};
 use cmpleak_core::metrics::TechniqueMetrics;
 use cmpleak_core::sweep::{run_sweep, SweepConfig};
 use cmpleak_core::{run_experiment, ExperimentConfig, Technique, WorkloadSpec};
-use cmpleak_coherence::bus::SnoopKind;
-use cmpleak_coherence::{mesi, moesi};
 use cmpleak_cpu::Workload;
 use cmpleak_system::run_simulation;
 use cmpleak_workloads::GenerationalWorkload;
@@ -137,11 +137,8 @@ fn bench_moesi_vs_mesi(c: &mut Criterion) {
                 mesi::SnoopContext::default(),
             );
             writebacks += t1.writeback as u64;
-            let t2 = mesi::step(
-                t1.next.unwrap(),
-                mesi::Event::TurnOff,
-                mesi::SnoopContext::default(),
-            );
+            let t2 =
+                mesi::step(t1.next.unwrap(), mesi::Event::TurnOff, mesi::SnoopContext::default());
             writebacks += t2.writeback as u64;
         }
         (writebacks, extra_invals)
@@ -149,7 +146,10 @@ fn bench_moesi_vs_mesi(c: &mut Criterion) {
     fn moesi_costs(rounds: u64) -> (u64, u64) {
         let (mut writebacks, mut extra_invals) = (0u64, 0u64);
         for _ in 0..rounds {
-            let t1 = moesi::step(moesi::MoesiState::Modified, moesi::MoesiEvent::Snoop(SnoopKind::BusRd));
+            let t1 = moesi::step(
+                moesi::MoesiState::Modified,
+                moesi::MoesiEvent::Snoop(SnoopKind::BusRd),
+            );
             writebacks += t1.writeback as u64;
             let t2 = moesi::step(t1.next.unwrap(), moesi::MoesiEvent::TurnOff);
             writebacks += t2.writeback as u64;

@@ -6,7 +6,9 @@ use cmpleak_coherence::bus::SnoopKind;
 use cmpleak_coherence::mesi::{step, Event, MesiState, SnoopContext};
 use cmpleak_coherence::Technique;
 use cmpleak_cpu::Workload;
-use cmpleak_mem::{DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, SetAssocArray, ShadowTags};
+use cmpleak_mem::{
+    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, SetAssocArray, ShadowTags,
+};
 use cmpleak_power::{PowerParams, ThermalModel};
 use cmpleak_system::{run_simulation, CmpConfig};
 use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec, Xoshiro256pp};

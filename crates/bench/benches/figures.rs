@@ -79,9 +79,7 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         let mut cfg = cmpleak_core::ExperimentConfig::paper(WorkloadSpec::mpeg2dec(), technique, 1);
         cfg.instructions_per_core = 60_000;
-        e.bench_function(technique.name(), |b| {
-            b.iter(|| cmpleak_core::run_experiment(&cfg))
-        });
+        e.bench_function(technique.name(), |b| b.iter(|| cmpleak_core::run_experiment(&cfg)));
     }
     e.finish();
 }

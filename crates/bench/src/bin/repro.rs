@@ -69,7 +69,9 @@ fn sweep(opts: &Opts) -> SweepResults {
 }
 
 fn print_headline(figs: &FigureSet<'_>, size_mb: usize) {
-    println!("Headline (paper §VII), {size_mb}MB total L2, decay families averaged over decay times:");
+    println!(
+        "Headline (paper §VII), {size_mb}MB total L2, decay families averaged over decay times:"
+    );
     println!("  paper: Protocol 13% energy / 0% IPC, Decay 30% / 8%, Selective Decay 21% / 2%");
     for (name, er, loss) in figs.headline(size_mb) {
         println!(

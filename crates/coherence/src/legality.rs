@@ -33,8 +33,12 @@ impl SystemKind {
     pub fn label(self) -> &'static str {
         match self {
             SystemKind::UniprocessorWriteBackL1 => "Single processor or shared L2, L1 Write-Back",
-            SystemKind::UniprocessorWriteThroughL1 => "Single processor or shared L2, L1 Write-Through",
-            SystemKind::MultiprocessorWriteThroughL1 => "Multiprocessor - private L2, L1 Write-Through",
+            SystemKind::UniprocessorWriteThroughL1 => {
+                "Single processor or shared L2, L1 Write-Through"
+            }
+            SystemKind::MultiprocessorWriteThroughL1 => {
+                "Multiprocessor - private L2, L1 Write-Through"
+            }
         }
     }
 }
@@ -76,14 +80,14 @@ pub fn turn_off_requirements(kind: SystemKind, dirt: LineDirtiness) -> TurnOffRe
     match (kind, dirt) {
         // "Turn off" — the L1 copy (clean or dirty) either gets discarded
         // or will re-allocate the line on its own write-back.
-        (UniprocessorWriteBackL1, Clean) => TurnOffRequirements { allowed: true, ..Default::default() },
+        (UniprocessorWriteBackL1, Clean) => {
+            TurnOffRequirements { allowed: true, ..Default::default() }
+        }
         // "Write back and turn off" — newest copy may be at either level;
         // memory must be updated.
-        (UniprocessorWriteBackL1, Dirty) => TurnOffRequirements {
-            allowed: true,
-            requires_writeback: true,
-            ..Default::default()
-        },
+        (UniprocessorWriteBackL1, Dirty) => {
+            TurnOffRequirements { allowed: true, requires_writeback: true, ..Default::default() }
+        }
         // "Turn off, if no pending write".
         (UniprocessorWriteThroughL1, Clean) => TurnOffRequirements {
             allowed: true,
@@ -166,7 +170,9 @@ mod tests {
 
     #[test]
     fn write_through_systems_check_the_write_buffer() {
-        for kind in [SystemKind::UniprocessorWriteThroughL1, SystemKind::MultiprocessorWriteThroughL1] {
+        for kind in
+            [SystemKind::UniprocessorWriteThroughL1, SystemKind::MultiprocessorWriteThroughL1]
+        {
             for dirt in LineDirtiness::ALL {
                 assert!(
                     turn_off_requirements(kind, dirt).requires_no_pending_write,
@@ -176,8 +182,10 @@ mod tests {
         }
         // A write-back L1 has no write-through traffic to race with.
         for dirt in LineDirtiness::ALL {
-            assert!(!turn_off_requirements(SystemKind::UniprocessorWriteBackL1, dirt)
-                .requires_no_pending_write);
+            assert!(
+                !turn_off_requirements(SystemKind::UniprocessorWriteBackL1, dirt)
+                    .requires_no_pending_write
+            );
         }
     }
 

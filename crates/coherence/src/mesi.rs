@@ -215,11 +215,7 @@ pub fn step(state: MesiState, event: Event, ctx: SnoopContext) -> Transition {
         }
         (Modified, Snoop(SnoopKind::BusRdX)) => {
             // Supply and relinquish. The L1 copy (if any) must go too.
-            let base = Transition {
-                supply_data: true,
-                writeback: true,
-                ..Transition::default()
-            };
+            let base = Transition { supply_data: true, writeback: true, ..Transition::default() };
             if ctx.must_defer() {
                 Transition {
                     invalidate_upper: true,
@@ -227,11 +223,7 @@ pub fn step(state: MesiState, event: Event, ctx: SnoopContext) -> Transition {
                     ..base
                 }
             } else {
-                Transition {
-                    protocol_invalidation: true,
-                    next: Some(Invalid),
-                    ..base
-                }
+                Transition { protocol_invalidation: true, next: Some(Invalid), ..base }
             }
         }
         (Modified, TurnOff) => {
@@ -314,10 +306,7 @@ pub fn step(state: MesiState, event: Event, ctx: SnoopContext) -> Transition {
 fn clean_invalidate(ctx: SnoopContext, reason: PendingInval) -> Transition {
     use MesiState::*;
     if ctx.must_defer() {
-        Transition {
-            invalidate_upper: true,
-            ..Transition::to(TransientClean(reason))
-        }
+        Transition { invalidate_upper: true, ..Transition::to(TransientClean(reason)) }
     } else {
         let mut t = Transition::to(Invalid);
         match reason {
@@ -505,7 +494,8 @@ mod tests {
     /// both).
     #[test]
     fn safety_sweep_all_stationary_transitions() {
-        let states = [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid];
+        let states =
+            [MesiState::Modified, MesiState::Exclusive, MesiState::Shared, MesiState::Invalid];
         let events = [
             Event::PrRead,
             Event::PrWrite,
@@ -531,7 +521,8 @@ mod tests {
                         assert!(
                             matches!(
                                 t.next,
-                                Some(MesiState::TransientClean(_)) | Some(MesiState::TransientDirty(_))
+                                Some(MesiState::TransientClean(_))
+                                    | Some(MesiState::TransientDirty(_))
                             ),
                             "{s:?} {e:?}: upper invalidation implies a transient"
                         );

@@ -96,16 +96,12 @@ pub fn step(state: MoesiState, event: MoesiEvent) -> MoesiTransition {
             assert_shared: true,
             ..Default::default()
         },
-        (Owned, Snoop(SnoopKind::BusRd)) => MoesiTransition {
-            supply_data: true,
-            assert_shared: true,
-            ..Default::default()
-        },
-        (Exclusive, Snoop(SnoopKind::BusRd)) => MoesiTransition {
-            next: Some(Shared),
-            assert_shared: true,
-            ..Default::default()
-        },
+        (Owned, Snoop(SnoopKind::BusRd)) => {
+            MoesiTransition { supply_data: true, assert_shared: true, ..Default::default() }
+        }
+        (Exclusive, Snoop(SnoopKind::BusRd)) => {
+            MoesiTransition { next: Some(Shared), assert_shared: true, ..Default::default() }
+        }
         (Shared, Snoop(SnoopKind::BusRd)) => {
             MoesiTransition { assert_shared: true, ..Default::default() }
         }
@@ -148,11 +144,9 @@ pub fn step(state: MoesiState, event: MoesiEvent) -> MoesiTransition {
             gate: true,
             ..Default::default()
         },
-        (Exclusive, TurnOff) | (Shared, TurnOff) => MoesiTransition {
-            next: Some(Invalid),
-            gate: true,
-            ..Default::default()
-        },
+        (Exclusive, TurnOff) | (Shared, TurnOff) => {
+            MoesiTransition { next: Some(Invalid), gate: true, ..Default::default() }
+        }
         (Invalid, TurnOff) => MoesiTransition { gate: true, ..Default::default() },
     }
 }
@@ -180,7 +174,9 @@ mod tests {
         let t = step(MoesiState::Owned, MoesiEvent::TurnOff);
         assert!(t.writeback && t.invalidate_other_copies && t.gate);
         // No other state needs the copy-invalidation broadcast.
-        for s in [MoesiState::Modified, MoesiState::Exclusive, MoesiState::Shared, MoesiState::Invalid] {
+        for s in
+            [MoesiState::Modified, MoesiState::Exclusive, MoesiState::Shared, MoesiState::Invalid]
+        {
             assert!(!step(s, MoesiEvent::TurnOff).invalidate_other_copies, "{s:?}");
         }
     }

@@ -91,7 +91,13 @@ pub fn oracle_pick(results: &SweepResults, prefix: &str) -> Vec<OracleChoice> {
                 }
             }
             if let Some((technique, edp)) = best {
-                out.push(OracleChoice { benchmark: bench, size_mb: size, technique, edp, best_fixed_edp });
+                out.push(OracleChoice {
+                    benchmark: bench,
+                    size_mb: size,
+                    technique,
+                    edp,
+                    best_fixed_edp,
+                });
             }
         }
     }

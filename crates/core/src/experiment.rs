@@ -1,10 +1,10 @@
 //! Run one (benchmark, technique, cache size) experiment.
 
 use cmpleak_coherence::Technique;
+use cmpleak_cpu::Workload;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
 use cmpleak_system::{run_simulation, CmpConfig, SimStats};
 use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
-use cmpleak_cpu::Workload;
 
 /// Configuration of a single experiment.
 #[derive(Debug, Clone, Copy)]

@@ -199,7 +199,8 @@ impl<'a> FigureSet<'a> {
     /// Selective Decay (decay families averaged over decay times),
     /// reporting (energy reduction, IPC loss).
     pub fn headline(&self, size_mb: usize) -> Vec<(String, f64, f64)> {
-        let families: [(&str, Box<dyn Fn(&str) -> bool>); 3] = [
+        type FamilyPred = Box<dyn Fn(&str) -> bool>;
+        let families: [(&str, FamilyPred); 3] = [
             ("Protocol", Box::new(|t: &str| t == "protocol")),
             ("Decay", Box::new(|t: &str| t.starts_with("decay"))),
             ("Selective Decay", Box::new(|t: &str| t.starts_with("sel_decay"))),

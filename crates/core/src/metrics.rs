@@ -125,7 +125,11 @@ mod tests {
         let m = TechniqueMetrics::compare(&base, &tech);
         assert!(m.occupation < 1.0);
         assert!(m.ipc_loss.abs() < 0.02, "protocol IPC loss ≈ 0, got {}", m.ipc_loss);
-        assert!(m.bandwidth_increase.abs() < 0.02, "no extra traffic, got {}", m.bandwidth_increase);
+        assert!(
+            m.bandwidth_increase.abs() < 0.02,
+            "no extra traffic, got {}",
+            m.bandwidth_increase
+        );
         assert!(m.induced_miss_rate < 1e-4, "protocol induces no misses");
     }
 

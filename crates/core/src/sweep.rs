@@ -3,7 +3,7 @@
 //! A sweep executes every (benchmark × cache size × technique) cell plus
 //! the per-(benchmark, size) baselines. Each simulation is
 //! single-threaded and deterministic; the sweep farms them over a worker
-//! pool (scoped threads + a crossbeam job channel — the share-nothing
+//! pool (scoped threads + an atomic job cursor — the share-nothing
 //! pattern from the workspace's hpc-parallel guides) and reassembles
 //! results by index, so the output is identical for any thread count.
 
@@ -89,14 +89,18 @@ pub struct SweepResults {
 impl SweepResults {
     /// Find one cell.
     pub fn cell(&self, benchmark: &str, technique: &str, size_mb: usize) -> Option<&SweepCell> {
-        self.cells.iter().find(|c| {
-            c.benchmark == benchmark && c.technique == technique && c.size_mb == size_mb
-        })
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.technique == technique && c.size_mb == size_mb)
     }
 
     /// Mean metrics of `technique` at `size_mb` across all benchmarks
     /// (the aggregation of Figures 3–5).
-    pub fn mean_over_benchmarks(&self, technique: &str, size_mb: usize) -> Option<TechniqueMetrics> {
+    pub fn mean_over_benchmarks(
+        &self,
+        technique: &str,
+        size_mb: usize,
+    ) -> Option<TechniqueMetrics> {
         let samples: Vec<TechniqueMetrics> = self
             .cells
             .iter()
@@ -162,22 +166,23 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
 
     let mut results: Vec<Option<ExperimentResult>> = (0..jobs.len()).map(|_| None).collect();
     {
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, ExperimentConfig)>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ExperimentResult)>();
-        for (i, j) in jobs.iter().enumerate() {
-            job_tx.send((i, *j)).expect("queue open");
-        }
-        drop(job_tx);
+        // Share-nothing worker pool on std primitives: an atomic cursor
+        // hands out job indices, an mpsc channel collects results, and
+        // reassembly by index keeps the output identical for any thread
+        // count.
+        let next_job = std::sync::atomic::AtomicUsize::new(0);
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, ExperimentResult)>();
         std::thread::scope(|s| {
             for _ in 0..threads {
-                let job_rx = job_rx.clone();
+                let next_job = &next_job;
+                let jobs = &jobs;
                 let res_tx = res_tx.clone();
-                s.spawn(move || {
-                    while let Ok((i, job)) = job_rx.recv() {
-                        let r = run_experiment(&job);
-                        if res_tx.send((i, r)).is_err() {
-                            return;
-                        }
+                s.spawn(move || loop {
+                    let i = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { return };
+                    let r = run_experiment(job);
+                    if res_tx.send((i, r)).is_err() {
+                        return;
                     }
                 });
             }

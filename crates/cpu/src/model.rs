@@ -120,7 +120,9 @@ impl CoreModel {
 
     /// All budgeted instructions dispatched and no load in flight.
     pub fn drained(&self) -> bool {
-        self.stats.instructions >= self.budget && self.outstanding.is_empty() && self.retry.is_none()
+        self.stats.instructions >= self.budget
+            && self.outstanding.is_empty()
+            && self.retry.is_none()
     }
 
     /// Unique id for the next load (exposed for the system's bookkeeping).
@@ -255,7 +257,12 @@ mod tests {
 
     impl TestPort {
         fn open() -> Self {
-            Self { accept_loads: true, accept_stores: true, issued_loads: vec![], issued_stores: vec![] }
+            Self {
+                accept_loads: true,
+                accept_stores: true,
+                issued_loads: vec![],
+                issued_stores: vec![],
+            }
         }
     }
 
@@ -276,7 +283,8 @@ mod tests {
 
     #[test]
     fn exec_ops_dispatch_at_width() {
-        let mut core = CoreModel::new(CoreConfig { width: 4, window: 64, max_outstanding_loads: 8 }, 16);
+        let mut core =
+            CoreModel::new(CoreConfig { width: 4, window: 64, max_outstanding_loads: 8 }, 16);
         let mut wl = ReplayWorkload::cycle(vec![TraceOp::Exec(16)]);
         let mut port = TestPort::open();
         let mut cycles = 0;
@@ -291,7 +299,8 @@ mod tests {
 
     #[test]
     fn loads_overlap_within_the_window() {
-        let mut core = CoreModel::new(CoreConfig { width: 1, window: 100, max_outstanding_loads: 8 }, 4);
+        let mut core =
+            CoreModel::new(CoreConfig { width: 1, window: 100, max_outstanding_loads: 8 }, 4);
         let mut wl = ReplayWorkload::cycle(vec![TraceOp::Load(0)]);
         let mut port = TestPort::open();
         core.tick(&mut wl, &mut port);
@@ -302,7 +311,8 @@ mod tests {
 
     #[test]
     fn window_fills_behind_oldest_incomplete_load() {
-        let mut core = CoreModel::new(CoreConfig { width: 4, window: 8, max_outstanding_loads: 8 }, 1000);
+        let mut core =
+            CoreModel::new(CoreConfig { width: 4, window: 8, max_outstanding_loads: 8 }, 1000);
         let mut wl = ReplayWorkload::cycle(vec![TraceOp::Load(0), TraceOp::Exec(100)]);
         let mut port = TestPort::open();
         // First cycle: load + 3 exec dispatch.
@@ -323,7 +333,8 @@ mod tests {
 
     #[test]
     fn load_queue_capacity_limits_flight() {
-        let mut core = CoreModel::new(CoreConfig { width: 4, window: 1000, max_outstanding_loads: 2 }, 1000);
+        let mut core =
+            CoreModel::new(CoreConfig { width: 4, window: 1000, max_outstanding_loads: 2 }, 1000);
         let mut wl = ReplayWorkload::cycle(vec![TraceOp::Load(0)]);
         let mut port = TestPort::open();
         for _ in 0..5 {
@@ -351,7 +362,8 @@ mod tests {
 
     #[test]
     fn budget_stops_dispatch_and_drain_waits_for_loads() {
-        let mut core = CoreModel::new(CoreConfig { width: 1, window: 64, max_outstanding_loads: 8 }, 1);
+        let mut core =
+            CoreModel::new(CoreConfig { width: 1, window: 64, max_outstanding_loads: 8 }, 1);
         let mut wl = ReplayWorkload::cycle(vec![TraceOp::Load(0)]);
         let mut port = TestPort::open();
         core.tick(&mut wl, &mut port);

@@ -29,8 +29,7 @@ impl ScriptedPort {
     fn tick(&mut self, core: &mut CoreModel) {
         self.now += 1;
         let now = self.now;
-        let (done, rest): (Vec<_>, Vec<_>) =
-            self.inflight.drain(..).partition(|&(_, t)| t <= now);
+        let (done, rest): (Vec<_>, Vec<_>) = self.inflight.drain(..).partition(|&(_, t)| t <= now);
         self.inflight = rest;
         for (id, _) in done {
             core.on_load_complete(id);

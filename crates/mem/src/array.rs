@@ -128,7 +128,11 @@ impl<M: LineMeta> SetAssocArray<M> {
     pub fn fill(&mut self, slot: usize, line: LineAddr, meta: M) -> Option<(LineAddr, M)> {
         let prev = {
             let l = &self.lines[slot];
-            if l.meta.is_valid() { Some((l.tag, l.meta.clone())) } else { None }
+            if l.meta.is_valid() {
+                Some((l.tag, l.meta.clone()))
+            } else {
+                None
+            }
         };
         self.stamp += 1;
         let l = &mut self.lines[slot];

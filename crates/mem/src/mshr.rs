@@ -115,10 +115,9 @@ impl<T> Mshr<T> {
 
     /// Next unissued entry, if any (FIFO order), marking it issued.
     pub fn next_to_issue(&mut self) -> Option<&mut MshrEntry<T>> {
-        self.entries.iter_mut().find(|e| !e.issued).map(|e| {
-            e.issued = true;
-            e
-        })
+        let entry = self.entries.iter_mut().find(|e| !e.issued)?;
+        entry.issued = true;
+        Some(entry)
     }
 
     /// Peek the next unissued entry without marking it.

@@ -38,7 +38,11 @@ impl WriteBuffer {
     /// A buffer holding up to `capacity` distinct lines.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { fifo: VecDeque::with_capacity(capacity), capacity, stats: WriteBufferStats::default() }
+        Self {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: WriteBufferStats::default(),
+        }
     }
 
     /// Entries currently buffered.

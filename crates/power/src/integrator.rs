@@ -123,11 +123,8 @@ pub fn evaluate_energy(
         total_cycles += iv.cycles;
     }
 
-    let avg_l2_temp_c = if total_cycles > 0 {
-        temp_weighted / total_cycles as f64
-    } else {
-        params.ambient_celsius
-    };
+    let avg_l2_temp_c =
+        if total_cycles > 0 { temp_weighted / total_cycles as f64 } else { params.ambient_celsius };
     let avg_power_w = params.pj_per_cycles_to_watts(acc.total_pj(), total_cycles.max(1));
     PowerReport {
         energy: acc,
@@ -167,7 +164,8 @@ mod tests {
     #[test]
     fn baseline_l2_leak_share_matches_calibration() {
         let stats = fake_stats(200, 1.0);
-        let r = evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
+        let r =
+            evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
         let share = r.energy.l2_leakage_share();
         // The synthetic interval here is less dynamic-heavy than the
         // calibration workloads (whose measured share is ≈0.31 at 4 MB),
@@ -231,7 +229,8 @@ mod tests {
     #[test]
     fn decay_overheads_charged_only_with_decay_logic() {
         let stats = fake_stats(50, 0.2);
-        let prot = evaluate_energy(PowerParams::default(), Technique::Protocol, 4, 1024 * 1024, &stats);
+        let prot =
+            evaluate_energy(PowerParams::default(), Technique::Protocol, 4, 1024 * 1024, &stats);
         let decay = evaluate_energy(
             PowerParams::default(),
             Technique::Decay { decay_cycles: 1 << 19 },
@@ -246,7 +245,8 @@ mod tests {
     #[test]
     fn empty_trace_yields_ambient_report() {
         let stats = SimStats::default();
-        let r = evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
+        let r =
+            evaluate_energy(PowerParams::default(), Technique::Baseline, 4, 1024 * 1024, &stats);
         assert_eq!(r.energy.total_pj(), 0.0);
         assert_eq!(r.avg_l2_temp_c, PowerParams::default().ambient_celsius);
     }

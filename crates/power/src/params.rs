@@ -128,10 +128,7 @@ mod tests {
             let lines = mb * 16384.0;
             let leak = lines * p.l2_leak_per_line_pj;
             let share = leak / (leak + non_l2);
-            assert!(
-                (share - target).abs() < 0.05,
-                "{mb} MB: share {share:.3} vs target {target}"
-            );
+            assert!((share - target).abs() < 0.05, "{mb} MB: share {share:.3} vs target {target}");
         }
     }
 

@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn zero_power_stays_at_ambient() {
         let mut m = model();
-        m.step(&vec![0.0; 8], 1e-3);
+        m.step(&[0.0; 8], 1e-3);
         let p = PowerParams::default();
         for &t in &m.temps {
             assert!((t - p.ambient_celsius).abs() < 1e-9);
@@ -180,7 +180,7 @@ mod tests {
         let mut m = model();
         m.temps[1] = 80.0; // preheat core 1
         let before = m.temps[0];
-        m.step(&vec![0.0; 8], 1e-4);
+        m.step(&[0.0; 8], 1e-4);
         assert!(m.temps[0] > before, "conduction from the hot neighbour");
     }
 }

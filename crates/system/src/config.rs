@@ -177,8 +177,7 @@ impl CmpConfig {
     /// four private caches): `total_mb` ∈ {1, 2, 4, 8}.
     pub fn paper_system(total_mb: usize, technique: Technique) -> Self {
         assert!(total_mb.is_power_of_two() && total_mb >= 1, "paper sizes are 1/2/4/8 MB");
-        let mut cfg = Self::default();
-        cfg.technique = technique;
+        let mut cfg = Self { technique, ..Self::default() };
         cfg.l2.size_bytes = total_mb * 1024 * 1024 / cfg.n_cores;
         cfg
     }
@@ -192,7 +191,10 @@ impl CmpConfig {
     pub fn validate(&self) {
         assert!(self.n_cores >= 1);
         assert_eq!(self.l1.line_bytes, self.l2.line_bytes, "uniform line size");
-        assert!(self.l2.size_bytes >= self.l1.size_bytes, "inclusive L2 must not be smaller than L1");
+        assert!(
+            self.l2.size_bytes >= self.l1.size_bytes,
+            "inclusive L2 must not be smaller than L1"
+        );
         assert!(self.sample_interval > 0);
         let _ = self.l1.geometry();
         let _ = self.l2.geometry();

@@ -210,8 +210,14 @@ mod tests {
     fn secondary_misses_merge() {
         let mut c = l1();
         let line = la(&c, 0x40);
-        assert_eq!(c.access_load(line, PendingLoad { id: 1, issued_at: 5 }), L1LoadOutcome::MissPrimary);
-        assert_eq!(c.access_load(line, PendingLoad { id: 2, issued_at: 6 }), L1LoadOutcome::MissSecondary);
+        assert_eq!(
+            c.access_load(line, PendingLoad { id: 1, issued_at: 5 }),
+            L1LoadOutcome::MissPrimary
+        );
+        assert_eq!(
+            c.access_load(line, PendingLoad { id: 2, issued_at: 6 }),
+            L1LoadOutcome::MissSecondary
+        );
         let (waiting, _) = c.fill(line);
         assert_eq!(waiting.len(), 2);
     }

@@ -24,7 +24,10 @@ use crate::config::L2Config;
 use crate::stats::L2Stats;
 use cmpleak_coherence::mesi::{fill_state, step, Event, MesiState, SnoopContext, Transition};
 use cmpleak_coherence::{bus::SnoopKind, DecayArming, Technique};
-use cmpleak_mem::{DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray, ShadowTags};
+use cmpleak_mem::{
+    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray,
+    ShadowTags,
+};
 
 /// Per-line metadata.
 #[derive(Debug, Clone, Copy)]
@@ -168,7 +171,10 @@ impl L2Cache {
         let geom = cfg.geometry();
         let lines = geom.lines();
         let decay = technique.decay_cycles().map(|d| {
-            DecayBank::new(lines, DecayConfig { decay_cycles: d, counter_bits: cfg.decay_counter_bits })
+            DecayBank::new(
+                lines,
+                DecayConfig { decay_cycles: d, counter_bits: cfg.decay_counter_bits },
+            )
         });
         let cold_gated = technique.gates_cold_lines();
         Self {
@@ -452,27 +458,25 @@ impl L2Cache {
                         self.stats.write_hits += 1;
                         L2WriteOutcome::Done
                     }
-                    MesiState::Shared => {
-                        match self.mshr.allocate(line, L2Target::Write, true) {
-                            MshrAlloc::Primary => {
-                                self.tags.touch(slot);
-                                self.decay_access(slot);
-                                self.shadow_access(line);
-                                self.stats.writes += 1;
-                                self.stats.write_hits += 1;
-                                L2WriteOutcome::UpgradeIssued
-                            }
-                            MshrAlloc::Secondary => {
-                                self.stats.writes += 1;
-                                self.shadow_access(line);
-                                L2WriteOutcome::MissSecondary
-                            }
-                            MshrAlloc::Full => {
-                                self.stats.retries += 1;
-                                L2WriteOutcome::Retry
-                            }
+                    MesiState::Shared => match self.mshr.allocate(line, L2Target::Write, true) {
+                        MshrAlloc::Primary => {
+                            self.tags.touch(slot);
+                            self.decay_access(slot);
+                            self.shadow_access(line);
+                            self.stats.writes += 1;
+                            self.stats.write_hits += 1;
+                            L2WriteOutcome::UpgradeIssued
                         }
-                    }
+                        MshrAlloc::Secondary => {
+                            self.stats.writes += 1;
+                            self.shadow_access(line);
+                            L2WriteOutcome::MissSecondary
+                        }
+                        MshrAlloc::Full => {
+                            self.stats.retries += 1;
+                            L2WriteOutcome::Retry
+                        }
+                    },
                     _ => unreachable!("stationary check above"),
                 }
             }
@@ -516,7 +520,13 @@ impl L2Cache {
     // ---- bus-side ---------------------------------------------------------
 
     /// Another cache's transaction is snooped.
-    pub fn snoop(&mut self, line: LineAddr, kind: SnoopKind, now: u64, fx: &mut SideEffects) -> SnoopReply {
+    pub fn snoop(
+        &mut self,
+        line: LineAddr,
+        kind: SnoopKind,
+        now: u64,
+        fx: &mut SideEffects,
+    ) -> SnoopReply {
         let mut reply = SnoopReply::default();
         // Race handling for our own in-flight miss on this line.
         if self.mshr.pending(line) {
@@ -677,7 +687,14 @@ impl L2Cache {
         best.map(|(s, _)| s)
     }
 
-    fn install(&mut self, slot: usize, line: LineAddr, state: MesiState, now: u64, fx: &mut SideEffects) {
+    fn install(
+        &mut self,
+        slot: usize,
+        line: LineAddr,
+        state: MesiState,
+        now: u64,
+        fx: &mut SideEffects,
+    ) {
         let victim = self.tags.slot(slot);
         if victim.meta.state.is_valid() {
             let vline = victim.tag;
@@ -753,14 +770,11 @@ mod tests {
 
     fn fill_line(c: &mut L2Cache, line: LineAddr, exclusive: bool, now: u64) {
         let fx = &mut SideEffects::default();
-        let outcome = if exclusive {
+        if exclusive {
             assert_eq!(c.probe_write(line), L2WriteOutcome::MissPrimary);
-            ()
         } else {
             assert_eq!(c.probe_read(line), L2ReadOutcome::MissPrimary);
-            ()
-        };
-        let _ = outcome;
+        }
         let (_, _, installed) = c.fill(line, false, now, fx);
         assert!(installed);
     }

@@ -226,14 +226,22 @@ mod tests {
 
     #[test]
     fn derived_rates() {
-        let mut s = SimStats::default();
-        s.cycles = 1000;
-        s.instructions = 2500;
-        s.loads_completed = 10;
-        s.load_latency_sum = 50;
-        s.l2 = vec![L2Stats { reads: 80, writes: 20, misses: 5, induced_misses: 2, ..Default::default() }];
-        s.l2_on_line_cycles = 250;
-        s.l2_line_cycle_capacity = 1000;
+        let s = SimStats {
+            cycles: 1000,
+            instructions: 2500,
+            loads_completed: 10,
+            load_latency_sum: 50,
+            l2: vec![L2Stats {
+                reads: 80,
+                writes: 20,
+                misses: 5,
+                induced_misses: 2,
+                ..Default::default()
+            }],
+            l2_on_line_cycles: 250,
+            l2_line_cycle_capacity: 1000,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.amat() - 5.0).abs() < 1e-12);
         assert!((s.l2_miss_rate() - 0.05).abs() < 1e-12);

@@ -158,6 +158,17 @@ pub struct CmpSystem {
     interval_start: u64,
 }
 
+impl std::fmt::Debug for CmpSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Workloads are trait objects; summarize instead of deriving.
+        f.debug_struct("CmpSystem")
+            .field("now", &self.now)
+            .field("n_cores", &self.cores.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
 impl CmpSystem {
     /// Build a system running one workload per core.
     ///
@@ -167,9 +178,8 @@ impl CmpSystem {
     pub fn new(cfg: CmpConfig, workloads: Vec<Box<dyn Workload>>) -> Self {
         cfg.validate();
         assert_eq!(workloads.len(), cfg.n_cores, "one workload per core");
-        let cores = (0..cfg.n_cores)
-            .map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core))
-            .collect();
+        let cores =
+            (0..cfg.n_cores).map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core)).collect();
         let l1s = (0..cfg.n_cores).map(|_| L1Cache::new(&cfg.l1)).collect();
         let wbs = (0..cfg.n_cores).map(|_| WriteBuffer::new(cfg.l1.write_buffer)).collect();
         let l2s = (0..cfg.n_cores)
@@ -258,7 +268,8 @@ impl CmpSystem {
             EvKind::DataReady { core, line, shared } => {
                 let mut fx = std::mem::take(&mut self.fx);
                 fx.clear();
-                let (reads, writes, _installed) = self.l2s[core].fill(line, shared, self.now, &mut fx);
+                let (reads, writes, _installed) =
+                    self.l2s[core].fill(line, shared, self.now, &mut fx);
                 self.route_fx(core, &mut fx, WbRoute::Queued);
                 self.fx = fx;
                 if reads > 0 {
@@ -461,9 +472,8 @@ impl CmpSystem {
     /// Probe a write that is no longer in the write buffer (re-issued
     /// after a demoted/doomed fill); retries go to the retry queue.
     fn issue_write_probe(&mut self, core: usize, line: LineAddr) {
-        match self.issue_write_probe_inner(core, line) {
-            L2WriteOutcome::Retry => self.write_retries[core].push_back(line),
-            _ => {}
+        if self.issue_write_probe_inner(core, line) == L2WriteOutcome::Retry {
+            self.write_retries[core].push_back(line)
         }
     }
 
@@ -598,8 +608,7 @@ mod tests {
     use cmpleak_cpu::{ReplayWorkload, TraceOp};
 
     fn tiny_cfg(technique: Technique) -> CmpConfig {
-        let mut cfg = CmpConfig::default();
-        cfg.n_cores = 2;
+        let mut cfg = CmpConfig { n_cores: 2, ..CmpConfig::default() };
         cfg.l1.size_bytes = 1024;
         cfg.l2.size_bytes = 64 * 1024;
         cfg.technique = technique;
@@ -635,7 +644,12 @@ mod tests {
             .map(|_| {
                 let ops: Vec<TraceOp> = (0..64)
                     .flat_map(|i| {
-                        [TraceOp::Exec(2), TraceOp::Store(i * 64), TraceOp::Exec(2), TraceOp::Load(i * 64)]
+                        [
+                            TraceOp::Exec(2),
+                            TraceOp::Store(i * 64),
+                            TraceOp::Exec(2),
+                            TraceOp::Load(i * 64),
+                        ]
                     })
                     .collect();
                 Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
@@ -709,18 +723,14 @@ mod tests {
                     let hot: Vec<TraceOp> = (0..16u64)
                         .flat_map(|i| [TraceOp::Exec(3), TraceOp::Load(base + i * 64)])
                         .collect();
-                    ops.extend(std::iter::repeat(hot).take(400).flatten());
+                    ops.extend(std::iter::repeat_n(hot, 400).flatten());
                     Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
                 })
                 .collect()
         };
         let base = run_simulation(base_cfg, wl());
         let decay = run_simulation(cfg, wl());
-        assert!(
-            decay.occupation_rate() < 0.4,
-            "decay occupation = {}",
-            decay.occupation_rate()
-        );
+        assert!(decay.occupation_rate() < 0.4, "decay occupation = {}", decay.occupation_rate());
         assert!(base.occupation_rate() == 1.0);
         let turnoffs: u64 = decay.l2.iter().map(|s| s.turnoffs_decay).sum();
         assert!(turnoffs > 0);
@@ -732,7 +742,10 @@ mod tests {
         let trace_cycles: u64 = stats.trace.iter().map(|t| t.cycles).sum();
         assert_eq!(trace_cycles, stats.cycles);
         let trace_on: u64 = stats.trace.iter().map(|t| t.l2_powered_line_cycles).sum();
-        assert_eq!(trace_on, stats.l2_on_line_cycles, "trace must integrate to the occupancy total");
+        assert_eq!(
+            trace_on, stats.l2_on_line_cycles,
+            "trace must integrate to the occupancy total"
+        );
         let trace_instr: u64 = stats.trace.iter().map(|t| t.instructions).sum();
         assert_eq!(trace_instr, stats.instructions);
         let trace_mem: u64 = stats.trace.iter().map(|t| t.mem_bytes).sum();
@@ -741,8 +754,10 @@ mod tests {
 
     #[test]
     fn determinism_same_config_same_stats() {
-        let a = run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
-        let b = run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
+        let a =
+            run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
+        let b =
+            run_simulation(tiny_cfg(Technique::Decay { decay_cycles: 4096 }), sharing_streams());
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem_bytes, b.mem_bytes);
         assert_eq!(a.l2_on_line_cycles, b.l2_on_line_cycles);

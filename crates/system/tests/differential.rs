@@ -61,10 +61,8 @@ fn decay_only_adds_costs() {
     assert!(decay.cycles >= base.cycles, "decay can only slow things down");
     assert!(decay.mem_bytes >= base.mem_bytes, "decay can only add traffic");
     assert!(decay.amat() >= base.amat() - 1e-9);
-    let (bm, dm): (u64, u64) = (
-        base.l2.iter().map(|s| s.misses).sum(),
-        decay.l2.iter().map(|s| s.misses).sum(),
-    );
+    let (bm, dm): (u64, u64) =
+        (base.l2.iter().map(|s| s.misses).sum(), decay.l2.iter().map(|s| s.misses).sum());
     assert!(dm >= bm, "decay can only add misses");
     let induced: u64 = decay.l2.iter().map(|s| s.induced_misses).sum();
     assert!(induced > 0, "aggressive decay on a revisiting workload must induce misses");
@@ -77,10 +75,7 @@ fn selective_decay_between_protocol_and_decay() {
     let sel = run(Technique::SelectiveDecay { decay_cycles: 16 * 1024 }, spec, 200_000);
     assert!(sel.cycles <= decay.cycles, "SD never slower than Decay");
     assert!(sel.mem_bytes <= decay.mem_bytes, "SD never more traffic than Decay");
-    assert!(
-        sel.occupation_rate() >= decay.occupation_rate(),
-        "SD gates at most as much as Decay"
-    );
+    assert!(sel.occupation_rate() >= decay.occupation_rate(), "SD gates at most as much as Decay");
     // SD's dirty decays are zero by construction.
     let dirty: u64 = sel.l2.iter().map(|s| s.dirty_decay_turnoffs).sum();
     assert_eq!(dirty, 0, "Selective Decay must never decay a Modified line");

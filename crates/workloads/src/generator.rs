@@ -106,8 +106,11 @@ impl GenerationalWorkload {
     /// core, so all four streams agree on who writes without any runtime
     /// coordination.
     fn producer(&self, region: u64, epoch: u64) -> usize {
-        (mix64(self.seed ^ region.wrapping_mul(0xA24B_AED4_963E_E407) ^ epoch.wrapping_mul(0x9FB2_1C65_1E98_DF25))
-            % self.n_cores as u64) as usize
+        (mix64(
+            self.seed
+                ^ region.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ epoch.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        ) % self.n_cores as u64) as usize
     }
 
     /// Accesses a scan line receives per burst (single pass over the
@@ -130,8 +133,7 @@ impl GenerationalWorkload {
     fn emit_burst(&mut self, base: u64, write_fraction: f64) {
         let region_lines = (self.spec.region_bytes as u64) / LINE_BYTES;
         let span = self.spec.burst_lines as u64;
-        let acc_lines =
-            ((span as f64 * self.spec.store_lines).ceil() as u64).min(span);
+        let acc_lines = ((span as f64 * self.spec.store_lines).ceil() as u64).min(span);
         let scan_lines = span - acc_lines;
         // Accumulator phase: fixed lines at the region start.
         for l in 0..acc_lines {
@@ -274,8 +276,7 @@ mod tests {
         let addrs = mem_addrs(&take_ops(&mut w, 100_000));
         let shared: Vec<u64> = addrs.iter().copied().filter(|&a| a >= SHARED_BASE).collect();
         assert!(!shared.is_empty(), "mpeg2dec must produce shared traffic");
-        let max_shared =
-            SHARED_BASE + (spec.shared_regions * spec.region_bytes) as u64;
+        let max_shared = SHARED_BASE + (spec.shared_regions * spec.region_bytes) as u64;
         assert!(shared.iter().all(|&a| a < max_shared));
     }
 

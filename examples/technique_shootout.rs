@@ -13,7 +13,9 @@ use cmp_leakage::core::{run_experiment, ExperimentConfig, Technique, WorkloadSpe
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FMM".into());
     let spec = WorkloadSpec::by_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown benchmark {name}; try FMM, WATER-NS, VOLREND, mpeg2enc, mpeg2dec, facerec");
+        eprintln!(
+            "unknown benchmark {name}; try FMM, WATER-NS, VOLREND, mpeg2enc, mpeg2dec, facerec"
+        );
         std::process::exit(2);
     });
     println!("benchmark: {} ({:?})", spec.name, spec.class);

@@ -66,10 +66,7 @@ fn miss_rate_is_technique_dominated_like_fig3b() {
     for size in [1, 4] {
         let protocol = mean("protocol", size).l2_miss_rate;
         let decay = mean("decay64K", size).l2_miss_rate;
-        assert!(
-            decay > protocol,
-            "more aggressive decay -> higher miss rate at {size}MB"
-        );
+        assert!(decay > protocol, "more aggressive decay -> higher miss rate at {size}MB");
     }
     // Decay-induced misses exist and are classified.
     assert!(mean("decay64K", 4).induced_miss_rate > 0.0);
@@ -87,8 +84,7 @@ fn bandwidth_follows_fig4a() {
     // ...and selective decay costs no more than decay (it avoids the
     // dirty turn-off write-backs).
     assert!(
-        mean("sel_decay64K", 4).bandwidth_increase
-            <= mean("decay64K", 4).bandwidth_increase + 1e-9
+        mean("sel_decay64K", 4).bandwidth_increase <= mean("decay64K", 4).bandwidth_increase + 1e-9
     );
 }
 
@@ -97,8 +93,7 @@ fn amat_follows_fig4b() {
     for size in [1, 4] {
         assert!(mean("protocol", size).amat_increase.abs() < 0.01, "protocol AMAT untouched");
         assert!(
-            mean("sel_decay64K", size).amat_increase
-                <= mean("decay64K", size).amat_increase + 1e-9,
+            mean("sel_decay64K", size).amat_increase <= mean("decay64K", size).amat_increase + 1e-9,
             "selective decay has better AMAT at {size}MB"
         );
     }
@@ -141,10 +136,7 @@ fn ipc_follows_fig5b() {
 fn scientific_codes_suffer_more_than_multimedia_like_fig6b() {
     let water = grid().cell("WATER-NS", "decay64K", 4).unwrap().metrics.ipc_loss;
     let mpeg = grid().cell("mpeg2dec", "decay64K", 4).unwrap().metrics.ipc_loss;
-    assert!(
-        water > mpeg,
-        "scientific {water} must lose more IPC than multimedia {mpeg}"
-    );
+    assert!(water > mpeg, "scientific {water} must lose more IPC than multimedia {mpeg}");
 }
 
 #[test]

@@ -1,0 +1,53 @@
+//! Fast end-to-end smoke test: every technique must run the tiny paper
+//! system to completion, retire the full instruction budget, and never
+//! leak more from the L2 than the always-on baseline does.
+
+use cmp_leakage::coherence::Technique;
+use cmp_leakage::cpu::Workload;
+use cmp_leakage::power::{evaluate_energy, PowerParams};
+use cmp_leakage::system::{run_simulation, CmpConfig, SimStats};
+use cmp_leakage::workloads::{GenerationalWorkload, WorkloadSpec};
+
+const INSTR: u64 = 20_000;
+
+fn run(technique: Technique) -> (SimStats, f64) {
+    let mut cfg = CmpConfig::paper_system(1, technique);
+    cfg.instructions_per_core = INSTR;
+    let n_cores = cfg.n_cores;
+    let bank_bytes = cfg.l2.size_bytes;
+    let wls: Vec<Box<dyn Workload>> = (0..n_cores)
+        .map(|core| {
+            Box::new(GenerationalWorkload::new(WorkloadSpec::water_ns(), core, n_cores, 42))
+                as Box<dyn Workload>
+        })
+        .collect();
+    let stats = run_simulation(cfg, wls);
+    let report = evaluate_energy(PowerParams::default(), technique, n_cores, bank_bytes, &stats);
+    (stats, report.energy.l2_leakage_pj)
+}
+
+#[test]
+fn every_technique_completes_and_saves_leakage() {
+    let (base_stats, base_leak) = run(Technique::Baseline);
+    assert!(base_stats.instructions > 0, "baseline retired nothing");
+    assert!(base_leak > 0.0, "baseline must leak");
+    assert!((base_stats.occupation_rate() - 1.0).abs() < 1e-12, "baseline never gates");
+
+    for technique in [
+        Technique::Protocol,
+        Technique::Decay { decay_cycles: 64 * 1024 },
+        Technique::SelectiveDecay { decay_cycles: 64 * 1024 },
+    ] {
+        let (stats, leak) = run(technique);
+        assert_eq!(
+            stats.instructions, base_stats.instructions,
+            "{technique:?}: fixed-workload contract broken"
+        );
+        assert!(stats.instructions > 0, "{technique:?}: retired nothing");
+        assert!(
+            leak <= base_leak,
+            "{technique:?}: leaked {leak:.1} pJ, baseline {base_leak:.1} pJ"
+        );
+        assert!(stats.occupation_rate() <= 1.0 + 1e-12, "{technique:?}: occupation above 1");
+    }
+}

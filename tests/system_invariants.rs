@@ -35,11 +35,9 @@ fn random_workloads(seed: u64, n_cores: usize, shared_lines: u64) -> Vec<Box<dyn
 }
 
 fn run(technique: Technique, seed: u64) -> SimStats {
-    let mut cfg = CmpConfig::default();
-    cfg.n_cores = 4;
+    let mut cfg =
+        CmpConfig { n_cores: 4, instructions_per_core: 60_000, technique, ..CmpConfig::default() };
     cfg.l2.size_bytes = 128 * 1024;
-    cfg.instructions_per_core = 60_000;
-    cfg.technique = technique;
     run_simulation(cfg, random_workloads(seed, 4, 512))
 }
 
@@ -97,7 +95,9 @@ fn l1_never_outlives_l2_lines_under_gating() {
     assert!(decays > 0, "aggressive decay must fire");
     let back: u64 = stats.l1.iter().map(|s| s.back_invalidations).sum();
     assert!(back > 0, "inclusion must be enforced");
-    assert!(stats.upper_invalidations >= stats.l1.iter().map(|s| s.technique_back_invalidations).sum());
+    assert!(
+        stats.upper_invalidations >= stats.l1.iter().map(|s| s.technique_back_invalidations).sum()
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! Write-Through" column prescribes, and the legality module must agree
 //! with the MESI machine's actions.
 
-use cmp_leakage::coherence::legality::{
-    turn_off_requirements, LineDirtiness, SystemKind,
-};
+use cmp_leakage::coherence::legality::{turn_off_requirements, LineDirtiness, SystemKind};
 use cmp_leakage::coherence::mesi::{step, Event, MesiState, SnoopContext};
 use cmp_leakage::coherence::Technique;
 use cmp_leakage::cpu::{ReplayWorkload, TraceOp, Workload};
@@ -40,11 +38,13 @@ fn legality_matches_the_state_machine() {
 /// clean lines does not.
 #[test]
 fn simulated_system_obeys_the_dirty_cell() {
-    let mut cfg = CmpConfig::default();
-    cfg.n_cores = 2;
+    let mut cfg = CmpConfig {
+        n_cores: 2,
+        instructions_per_core: 60_000,
+        technique: Technique::Decay { decay_cycles: 4096 },
+        ..CmpConfig::default()
+    };
     cfg.l2.size_bytes = 64 * 1024;
-    cfg.instructions_per_core = 60_000;
-    cfg.technique = Technique::Decay { decay_cycles: 4096 };
 
     // Core 0 writes a region then moves on (dirty lines decay);
     // core 1 only reads its own region (clean lines decay).
@@ -52,13 +52,10 @@ fn simulated_system_obeys_the_dirty_cell() {
         .flat_map(|i| [TraceOp::Exec(2), TraceOp::Store((1 << 30) + i * 64)])
         .chain((0..512).flat_map(|i| [TraceOp::Exec(4), TraceOp::Load((1 << 31) + i * 64)]))
         .collect();
-    let reader: Vec<TraceOp> = (0..512u64)
-        .flat_map(|i| [TraceOp::Exec(4), TraceOp::Load((1 << 32) + i * 64)])
-        .collect();
-    let wls: Vec<Box<dyn Workload>> = vec![
-        Box::new(ReplayWorkload::cycle(writer)),
-        Box::new(ReplayWorkload::cycle(reader)),
-    ];
+    let reader: Vec<TraceOp> =
+        (0..512u64).flat_map(|i| [TraceOp::Exec(4), TraceOp::Load((1 << 32) + i * 64)]).collect();
+    let wls: Vec<Box<dyn Workload>> =
+        vec![Box::new(ReplayWorkload::cycle(writer)), Box::new(ReplayWorkload::cycle(reader))];
     let stats = run_simulation(cfg, wls);
 
     // Writer core: dirty decays happened and were written back.
@@ -75,18 +72,18 @@ fn simulated_system_obeys_the_dirty_cell() {
 /// line's stores all reached the L2.
 #[test]
 fn pending_writes_are_never_lost_to_gating() {
-    let mut cfg = CmpConfig::default();
-    cfg.n_cores = 2;
+    let mut cfg = CmpConfig {
+        n_cores: 2,
+        instructions_per_core: 30_000,
+        technique: Technique::Decay { decay_cycles: 1024 }, // very aggressive
+        ..CmpConfig::default()
+    };
     cfg.l2.size_bytes = 64 * 1024;
-    cfg.instructions_per_core = 30_000;
-    cfg.technique = Technique::Decay { decay_cycles: 1024 }; // very aggressive
 
-    let ops: Vec<TraceOp> = (0..16u64)
-        .flat_map(|i| [TraceOp::Exec(8), TraceOp::Store((1 << 30) + i * 64)])
-        .collect();
-    let wls: Vec<Box<dyn Workload>> = (0..2)
-        .map(|_| Box::new(ReplayWorkload::cycle(ops.clone())) as Box<dyn Workload>)
-        .collect();
+    let ops: Vec<TraceOp> =
+        (0..16u64).flat_map(|i| [TraceOp::Exec(8), TraceOp::Store((1 << 30) + i * 64)]).collect();
+    let wls: Vec<Box<dyn Workload>> =
+        (0..2).map(|_| Box::new(ReplayWorkload::cycle(ops.clone())) as Box<dyn Workload>).collect();
     let stats = run_simulation(cfg, wls);
     assert_eq!(stats.instructions, 60_000, "system drained completely");
     let stores_issued: u64 = stats.l1.iter().map(|l| l.stores).sum();

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`, covering the surface the bench
+//! harness uses: `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `measurement_time`/`sample_size`, `Bencher::iter` and
+//! `iter_batched`, and `black_box`.
+//!
+//! Measurement model: per benchmark, a short warm-up sizes the batch so
+//! one sample takes ~1 ms, then samples are collected until the group's
+//! measurement time (capped — this is a smoke-grade harness, not a
+//! statistics engine) and the median ns/iter is reported on stdout in a
+//! stable grep-friendly format:
+//!
+//! ```text
+//! bench: group/name ... 1234 ns/iter (median of 57 samples)
+//! ```
+//!
+//! CLI: `--quick` shrinks measurement time ~10x; a bare positional
+//! argument filters benchmarks by substring; cargo's own `--bench` flag
+//! and any other unknown flags are ignored.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, one per bench binary.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from the process arguments (tolerates cargo's `--bench`).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => c.quick = true,
+                s if s.starts_with("--") => {} // cargo/compat flags: ignore
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(3),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group(String::new());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        // Cap the budget: the stub reports a trend line, it does not owe
+        // criterion-grade confidence intervals.
+        let budget = if self.criterion.quick {
+            Duration::from_millis(100)
+        } else {
+            self.measurement_time.min(Duration::from_secs(3))
+        };
+        let mut b = Bencher { budget, samples: Vec::new() };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>, // ns per iteration
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stub only uses
+/// it to pick how many setup outputs to pre-build per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `f`, called in adaptively sized batches.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: find a batch size where one sample takes ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench: {name} ... no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "bench: {name} ... {median:.0} ns/iter (median of {} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `rand`. The workspace's simulator never uses
+//! OS randomness (determinism contract, see EXPERIMENTS.md); this stub
+//! exists so dev-tooling can take a `rand` dependency without touching
+//! the network. Only a minimal seedable generator is provided.
+
+use std::ops::Range;
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range(&mut self, r: Range<u64>) -> u64 {
+        assert!(r.start < r.end);
+        let span = r.end - r.start;
+        r.start + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// splitmix64: tiny, fast, and plenty for test scaffolding.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace
+//! actually uses — structs with named fields and enums with unit
+//! variants — by hand-parsing the token stream (no `syn`/`quote`; the
+//! build must work with an empty crates.io cache). Anything else gets a
+//! `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("serde_derive stub emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut kind = None;
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if matches!(id.to_string().as_str(), "struct" | "enum") => {
+                kind = Some(id.to_string());
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                for t in &tokens[i + 1..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let (kind, name, body) = match (kind, name, body) {
+        (Some(k), Some(n), Some(b)) => (k, n, b),
+        _ => {
+            return Err("serde stub: could not parse item (expected struct/enum with braces)".into())
+        }
+    };
+    if kind == "struct" {
+        let fields = field_names(body)?;
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                )
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(::std::vec![{}])\n\
+                 }}\n\
+             }}",
+            entries.join(", ")
+        ))
+    } else {
+        let variants = variant_names(body)?;
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?}))")
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                 }}\n\
+             }}",
+            arms.join(", ")
+        ))
+    }
+}
+
+/// Split a brace-group body at top-level commas, tracking `<...>` depth
+/// so commas inside generic arguments (e.g. `HashMap<String, u64>`)
+/// don't split a field.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strip leading `#[...]` attributes and `pub` / `pub(...)` visibility
+/// from a field or variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = chunk;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), TokenTree::Group(g), tail @ ..]
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(body)
+        .iter()
+        .map(|chunk| match strip_attrs_and_vis(chunk) {
+            [TokenTree::Ident(f), TokenTree::Punct(c), ..] if c.as_char() == ':' => {
+                Ok(f.to_string())
+            }
+            _ => Err("serde stub: only structs with named fields are supported".into()),
+        })
+        .collect()
+}
+
+fn variant_names(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(body)
+        .iter()
+        .map(|chunk| match strip_attrs_and_vis(chunk) {
+            [TokenTree::Ident(v)] => Ok(v.to_string()),
+            _ => Err("serde stub: only enums with unit variants are supported".into()),
+        })
+        .collect()
+}
