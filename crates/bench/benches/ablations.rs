@@ -94,7 +94,10 @@ fn bench_sensitivity(c: &mut Criterion) {
 
 fn bench_adaptive_vs_fixed(c: &mut Criterion) {
     let grid = run_sweep(&SweepConfig {
-        benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+        scenarios: vec![
+            cmpleak_core::Scenario::Homogeneous(WorkloadSpec::water_ns()),
+            cmpleak_core::Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+        ],
         sizes_mb: vec![1],
         techniques: vec![
             Technique::Decay { decay_cycles: 512 * 1024 },
@@ -176,7 +179,7 @@ fn bench_edp_frontier(c: &mut Criterion) {
     base_cfg.instructions_per_core = INSTR;
     let base = run_experiment(&base_cfg);
     for technique in Technique::paper_set() {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.technique = technique;
         let r = run_experiment(&cfg);
         let m = TechniqueMetrics::compare(&base, &r);
@@ -186,7 +189,7 @@ fn bench_edp_frontier(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(5)).sample_size(10);
     g.bench_function("frontier_point", |b| {
         b.iter(|| {
-            let mut cfg = base_cfg;
+            let mut cfg = base_cfg.clone();
             cfg.technique = Technique::SelectiveDecay { decay_cycles: 128 * 1024 };
             run_experiment(&cfg)
         })

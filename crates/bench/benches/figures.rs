@@ -19,7 +19,10 @@ fn shared_grid() -> &'static SweepResults {
     static GRID: OnceLock<SweepResults> = OnceLock::new();
     GRID.get_or_init(|| {
         run_sweep(&SweepConfig {
-            benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+            scenarios: vec![
+                cmpleak_core::Scenario::Homogeneous(WorkloadSpec::water_ns()),
+                cmpleak_core::Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+            ],
             sizes_mb: vec![1, 2],
             techniques: vec![
                 Technique::Protocol,

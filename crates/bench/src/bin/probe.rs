@@ -38,7 +38,7 @@ fn main() {
             t0.elapsed().as_secs_f64()
         );
         for tech in techs {
-            let mut c = cfg;
+            let mut c = cfg.clone();
             c.technique = tech;
             let r = run_experiment(&c);
             let m = TechniqueMetrics::compare(&base, &r);

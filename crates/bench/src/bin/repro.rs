@@ -120,7 +120,7 @@ fn cores_scaling(opts: &Opts) {
     );
     for n_cores in [2usize, 4, 8] {
         let mk = |technique| ExperimentConfig {
-            benchmark: WorkloadSpec::water_ns(),
+            scenario: cmpleak_core::Scenario::Homogeneous(WorkloadSpec::water_ns()),
             technique,
             total_l2_mb: opts.size_mb,
             instructions_per_core: opts.instr / 2,

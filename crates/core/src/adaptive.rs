@@ -30,8 +30,8 @@ pub fn relative_edp(m: &TechniqueMetrics) -> f64 {
 /// The oracle's choice for one benchmark/size.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OracleChoice {
-    /// Benchmark name.
-    pub benchmark: &'static str,
+    /// Scenario label.
+    pub benchmark: String,
     /// Total L2 MB.
     pub size_mb: usize,
     /// Winning technique label.
@@ -83,7 +83,7 @@ pub fn oracle_pick(results: &SweepResults, prefix: &str) -> Vec<OracleChoice> {
         for bench in results.benchmarks() {
             let mut best: Option<(String, f64)> = None;
             for t in &candidates {
-                if let Some(cell) = results.cell(bench, t, size) {
+                if let Some(cell) = results.cell(&bench, t, size) {
                     let edp = relative_edp(&cell.metrics);
                     if best.as_ref().map(|(_, e)| edp < *e).unwrap_or(true) {
                         best = Some((t.clone(), edp));
@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn oracle_picks_per_benchmark_winners() {
         let res = run_sweep(&SweepConfig {
-            benchmarks: vec![WorkloadSpec::mpeg2enc(), WorkloadSpec::volrend()],
+            scenarios: vec![
+                crate::scenario::Scenario::Homogeneous(WorkloadSpec::mpeg2enc()),
+                crate::scenario::Scenario::Homogeneous(WorkloadSpec::volrend()),
+            ],
             sizes_mb: vec![1],
             techniques: vec![
                 Technique::Decay { decay_cycles: 16 * 1024 },

@@ -1,16 +1,17 @@
-//! Run one (benchmark, technique, cache size) experiment.
+//! Run one (scenario, technique, cache size) experiment.
 
+use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
-use cmpleak_cpu::Workload;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
 use cmpleak_system::{run_simulation, CmpConfig, SimStats};
-use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+use cmpleak_workloads::WorkloadSpec;
 
 /// Configuration of a single experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
-    /// Synthetic benchmark to run on every core.
-    pub benchmark: WorkloadSpec,
+    /// What runs on the cores: a homogeneous benchmark (the paper's
+    /// setup), a heterogeneous mix, or a recorded trace.
+    pub scenario: Scenario,
     /// Leakage technique under test.
     pub technique: Technique,
     /// Total L2 capacity (MB) across the private caches (the paper's
@@ -27,10 +28,16 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Paper defaults: 4 cores, 6M instructions per core, seed 42.
+    /// Paper defaults: 4 cores, 6M instructions per core, seed 42,
+    /// every core running `benchmark`.
     pub fn paper(benchmark: WorkloadSpec, technique: Technique, total_l2_mb: usize) -> Self {
+        Self::paper_scenario(Scenario::Homogeneous(benchmark), technique, total_l2_mb)
+    }
+
+    /// Paper defaults around an arbitrary [`Scenario`].
+    pub fn paper_scenario(scenario: Scenario, technique: Technique, total_l2_mb: usize) -> Self {
         Self {
-            benchmark,
+            scenario,
             technique,
             total_l2_mb,
             instructions_per_core: 6_000_000,
@@ -53,8 +60,8 @@ impl ExperimentConfig {
 /// Everything measured for one experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
-    /// Benchmark name.
-    pub benchmark: &'static str,
+    /// Scenario label (benchmark name, mix name, or `…@trace`).
+    pub benchmark: String,
     /// Technique name (paper label).
     pub technique: String,
     /// Total L2 in MB.
@@ -69,17 +76,12 @@ pub struct ExperimentResult {
 /// energy.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let cmp = cfg.cmp_config();
-    let workloads: Vec<Box<dyn Workload>> = (0..cfg.n_cores)
-        .map(|c| {
-            Box::new(GenerationalWorkload::new(cfg.benchmark, c, cfg.n_cores, cfg.seed))
-                as Box<dyn Workload>
-        })
-        .collect();
+    let workloads = cfg.scenario.build_workloads(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
     let bank_bytes = cmp.l2.size_bytes;
     let stats = run_simulation(cmp, workloads);
     let power = evaluate_energy(cfg.power, cfg.technique, cfg.n_cores, bank_bytes, &stats);
     ExperimentResult {
-        benchmark: cfg.benchmark.name,
+        benchmark: cfg.scenario.label(),
         technique: cfg.technique.name(),
         total_l2_mb: cfg.total_l2_mb,
         stats,
@@ -90,6 +92,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmpleak_workloads::ScenarioSpec;
 
     fn quick(technique: Technique) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::paper(WorkloadSpec::mpeg2dec(), technique, 1);
@@ -125,8 +128,35 @@ mod tests {
     fn experiments_are_deterministic() {
         let a = run_experiment(&quick(Technique::Decay { decay_cycles: 64 * 1024 }));
         let b = run_experiment(&quick(Technique::Decay { decay_cycles: 64 * 1024 }));
-        assert_eq!(a.stats.cycles, b.stats.cycles);
-        assert_eq!(a.stats.l2_on_line_cycles, b.stats.l2_on_line_cycles);
-        assert_eq!(a.stats.mem_bytes, b.stats.mem_bytes);
+        assert_eq!(a.stats, b.stats, "whole-stats bit-identity");
+        assert_eq!(a.power, b.power);
+    }
+
+    #[test]
+    fn heterogeneous_mix_runs_with_per_core_breakdown() {
+        let mut cfg = ExperimentConfig::paper_scenario(
+            Scenario::Mix(ScenarioSpec::bursty_idle()),
+            Technique::Protocol,
+            1,
+        );
+        cfg.instructions_per_core = 40_000;
+        let r = run_experiment(&cfg);
+        assert_eq!(r.benchmark, "mix_bursty_idle");
+        assert_eq!(
+            r.stats.core_workloads,
+            vec!["WATER-NS", "bursty", "VOLREND", "bursty"],
+            "per-core breakdown labels the mix"
+        );
+        assert_eq!(r.stats.instructions, 4 * 40_000);
+        for c in 0..4 {
+            assert_eq!(r.stats.cores[c].instructions, 40_000, "fixed work per core");
+        }
+        // The bursty cores do far fewer memory ops for the same budget.
+        let busy_mem = r.stats.cores[0].loads + r.stats.cores[0].stores;
+        let idle_mem = r.stats.cores[1].loads + r.stats.cores[1].stores;
+        assert!(
+            idle_mem * 3 < busy_mem,
+            "bursty core must be memory-light: busy {busy_mem}, idle {idle_mem}"
+        );
     }
 }

@@ -134,7 +134,7 @@ impl<'a> FigureSet<'a> {
         let mut values = Vec::new();
         for t in &self.techniques {
             let mut row = Vec::new();
-            for &b in &benches {
+            for b in &benches {
                 let cell = self
                     .results
                     .cell(b, t, size_mb)
@@ -143,14 +143,7 @@ impl<'a> FigureSet<'a> {
             }
             values.push(row);
         }
-        Figure {
-            id,
-            title,
-            rows: self.techniques.clone(),
-            cols: benches.iter().map(|b| b.to_string()).collect(),
-            values,
-            unit,
-        }
+        Figure { id, title, rows: self.techniques.clone(), cols: benches, values, unit }
     }
 
     /// Fig. 3(a): L2 occupation rate.
@@ -235,7 +228,10 @@ mod tests {
 
     fn small_results() -> SweepResults {
         run_sweep(&SweepConfig {
-            benchmarks: vec![WorkloadSpec::mpeg2enc(), WorkloadSpec::water_ns()],
+            scenarios: vec![
+                crate::scenario::Scenario::Homogeneous(WorkloadSpec::mpeg2enc()),
+                crate::scenario::Scenario::Homogeneous(WorkloadSpec::water_ns()),
+            ],
             sizes_mb: vec![1, 2],
             techniques: vec![
                 Technique::Protocol,

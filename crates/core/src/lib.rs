@@ -11,7 +11,10 @@
 //! * [`metrics`] — the paper's derived quantities (occupation rate, L2
 //!   miss rate, memory-bandwidth/AMAT increase, energy reduction, IPC
 //!   loss), always relative to the always-on baseline;
-//! * [`sweep`] — the full evaluation grid (benchmarks × cache sizes ×
+//! * [`scenario`] — what runs on the cores: homogeneous benchmarks,
+//!   heterogeneous multiprogrammed mixes, or recorded trace replays
+//!   (`cmpleak-trace`);
+//! * [`sweep`] — the full evaluation grid (scenarios × cache sizes ×
 //!   techniques), farmed over worker threads, deterministic regardless
 //!   of thread count;
 //! * [`figures`] — builders that regenerate every figure of the paper's
@@ -28,11 +31,13 @@ pub mod adaptive;
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
+pub mod scenario;
 pub mod sweep;
 
 pub use cmpleak_coherence::Technique;
-pub use cmpleak_workloads::{BenchClass, WorkloadSpec};
+pub use cmpleak_workloads::{BenchClass, ScenarioSpec, WorkloadSpec};
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use figures::{Figure, FigureSet};
 pub use metrics::TechniqueMetrics;
+pub use scenario::Scenario;
 pub use sweep::{SweepCell, SweepConfig, SweepResults};

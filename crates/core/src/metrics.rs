@@ -167,7 +167,7 @@ mod tests {
         cfg.instructions_per_core = 20_000;
         let base = run_experiment(&cfg);
         let mut cfg2 = cfg;
-        cfg2.benchmark = WorkloadSpec::fmm();
+        cfg2.scenario = crate::scenario::Scenario::Homogeneous(WorkloadSpec::fmm());
         let other = run_experiment(&cfg2);
         TechniqueMetrics::compare(&base, &other);
     }

@@ -1,0 +1,203 @@
+//! What runs on the cores of one experiment.
+//!
+//! A [`Scenario`] names the workload side of an experiment cell and
+//! knows how to build the per-core [`Workload`] drivers:
+//!
+//! * [`Scenario::Homogeneous`] — the paper's configuration: every core
+//!   runs the same [`WorkloadSpec`];
+//! * [`Scenario::Mix`] — a heterogeneous multiprogrammed
+//!   [`ScenarioSpec`], one spec per core;
+//! * [`Scenario::TraceReplay`] — replay a recorded trace file
+//!   (`cmpleak-trace`), bit-identical to the live run it captured.
+
+use cmpleak_cpu::Workload;
+use cmpleak_trace::{record_workloads, TraceFile, TraceRecorder};
+use cmpleak_workloads::{ScenarioSpec, WorkloadSpec};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The workload half of an experiment configuration.
+#[derive(Debug, Clone)]
+pub enum Scenario {
+    /// Every core runs `spec` (the paper's homogeneous setup).
+    Homogeneous(WorkloadSpec),
+    /// Heterogeneous multiprogrammed mix.
+    Mix(ScenarioSpec),
+    /// Replay the per-core streams of a recorded trace file.
+    TraceReplay {
+        /// Trace file path (diagnostics only; the image is cached).
+        path: PathBuf,
+        /// Label from the trace header (cached at construction so
+        /// labelling never needs IO).
+        label: String,
+        /// The preloaded trace image, shared across clones — a sweep
+        /// replaying one trace over many cells reads the file once, and
+        /// worker threads slice the same cached bytes.
+        file: Arc<TraceFile>,
+    },
+}
+
+impl Scenario {
+    /// Wrap a trace file: parse the header, pull the image into memory
+    /// once, and share it across every clone of this scenario.
+    pub fn from_trace(path: impl AsRef<Path>) -> io::Result<Scenario> {
+        let mut tf = TraceFile::open(path.as_ref())?;
+        tf.preload()?;
+        Ok(Scenario::TraceReplay {
+            path: path.as_ref().to_path_buf(),
+            label: format!("{}@trace", tf.label()),
+            file: Arc::new(tf),
+        })
+    }
+
+    /// Resolve a benchmark or curated-mix name (`FMM`, `mpeg2dec`,
+    /// `mix_bursty_idle`, …).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        WorkloadSpec::by_name(name)
+            .map(Scenario::Homogeneous)
+            .or_else(|| ScenarioSpec::by_name(name).map(Scenario::Mix))
+    }
+
+    /// Every name [`Scenario::by_name`] resolves, for CLI help.
+    pub fn known_names() -> Vec<String> {
+        WorkloadSpec::extended_suite()
+            .iter()
+            .map(|s| s.name.to_string())
+            .chain(ScenarioSpec::paper_mixes().into_iter().map(|m| m.name))
+            .collect()
+    }
+
+    /// The label used for sweep cells, figures and trace headers.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Homogeneous(spec) => spec.name.to_string(),
+            Scenario::Mix(mix) => mix.name.clone(),
+            Scenario::TraceReplay { label, .. } => label.clone(),
+        }
+    }
+
+    /// Build the per-core workload drivers.
+    ///
+    /// # Panics
+    /// For [`Scenario::TraceReplay`], panics if the file cannot be read,
+    /// records a different core count, or covers fewer instructions per
+    /// core than `instructions_per_core` — replaying past the recorded
+    /// budget would silently diverge from the live run, so it is
+    /// rejected up front.
+    pub fn build_workloads(
+        &self,
+        n_cores: usize,
+        seed: u64,
+        instructions_per_core: u64,
+    ) -> Vec<Box<dyn Workload>> {
+        match self {
+            Scenario::Homogeneous(spec) => {
+                ScenarioSpec::new(spec.name, vec![*spec]).build_workloads(n_cores, seed)
+            }
+            Scenario::Mix(mix) => mix.build_workloads(n_cores, seed),
+            Scenario::TraceReplay { path, file: tf, .. } => {
+                assert_eq!(
+                    tf.n_cores(),
+                    n_cores,
+                    "trace {} records {} cores, experiment wants {n_cores}",
+                    path.display(),
+                    tf.n_cores()
+                );
+                assert!(
+                    tf.min_core_instructions() >= instructions_per_core,
+                    "trace {} covers {} instructions/core, experiment wants {}",
+                    path.display(),
+                    tf.min_core_instructions(),
+                    instructions_per_core
+                );
+                (0..n_cores)
+                    .map(|c| {
+                        Box::new(tf.core_workload(c).unwrap_or_else(|e| {
+                            panic!("cannot read core {c} of {}: {e}", path.display())
+                        })) as Box<dyn Workload>
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Record this scenario's live streams into a [`TraceRecorder`]
+    /// covering `instructions_per_core` per core. (Recording a
+    /// `TraceReplay` scenario re-encodes the replayed streams.)
+    pub fn record(&self, n_cores: usize, seed: u64, instructions_per_core: u64) -> TraceRecorder {
+        let mut wls = self.build_workloads(n_cores, seed, instructions_per_core);
+        record_workloads(self.label(), seed, &mut wls, instructions_per_core)
+    }
+}
+
+impl From<WorkloadSpec> for Scenario {
+    fn from(spec: WorkloadSpec) -> Self {
+        Scenario::Homogeneous(spec)
+    }
+}
+
+impl From<ScenarioSpec> for Scenario {
+    fn from(mix: ScenarioSpec) -> Self {
+        Scenario::Mix(mix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpleak_trace::TraceFile;
+
+    #[test]
+    fn labels_and_lookup() {
+        assert_eq!(Scenario::Homogeneous(WorkloadSpec::fmm()).label(), "FMM");
+        assert_eq!(Scenario::Mix(ScenarioSpec::bursty_idle()).label(), "mix_bursty_idle");
+        assert!(Scenario::by_name("water-ns").is_some());
+        assert!(Scenario::by_name("mix_producer_share").is_some());
+        assert!(Scenario::by_name("nonesuch").is_none());
+        assert!(Scenario::known_names().len() >= 9);
+    }
+
+    #[test]
+    fn homogeneous_build_matches_direct_generators() {
+        use cmpleak_workloads::GenerationalWorkload;
+        let spec = WorkloadSpec::volrend();
+        let mut built = Scenario::Homogeneous(spec).build_workloads(2, 5, 1000);
+        let mut direct = GenerationalWorkload::new(spec, 1, 2, 5);
+        for _ in 0..2000 {
+            assert_eq!(built[1].next_op(), direct.next_op());
+        }
+    }
+
+    #[test]
+    fn record_then_replay_streams_are_identical() {
+        let scenario = Scenario::Mix(ScenarioSpec::stream_revisit());
+        let rec = scenario.record(4, 42, 5_000);
+        let path = std::env::temp_dir().join("cmpleak_core_scenario_test.cmpt");
+        rec.save(&path).unwrap();
+
+        let replay = Scenario::from_trace(&path).unwrap();
+        assert_eq!(replay.label(), "mix_stream_revisit@trace");
+        let mut replayed = replay.build_workloads(4, 42, 5_000);
+        let mut live = scenario.build_workloads(4, 42, 5_000);
+        let tf = TraceFile::open(&path).unwrap();
+        for core in 0..4 {
+            assert_eq!(replayed[core].name(), live[core].name());
+            for _ in 0..tf.header().cores[core].ops {
+                assert_eq!(replayed[core].next_op(), live[core].next_op(), "core {core}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "instructions/core")]
+    fn oversized_budget_is_rejected_up_front() {
+        let scenario = Scenario::Homogeneous(WorkloadSpec::facerec());
+        let rec = scenario.record(2, 1, 1_000);
+        let path = std::env::temp_dir().join("cmpleak_core_scenario_small.cmpt");
+        rec.save(&path).unwrap();
+        let replay = Scenario::from_trace(&path).unwrap();
+        let _ = replay.build_workloads(2, 1, 100_000);
+    }
+}

@@ -1,24 +1,27 @@
 //! The full evaluation grid, run in parallel.
 //!
-//! A sweep executes every (benchmark × cache size × technique) cell plus
-//! the per-(benchmark, size) baselines. Each simulation is
+//! A sweep executes every (scenario × cache size × technique) cell plus
+//! the per-(scenario, size) baselines. Each simulation is
 //! single-threaded and deterministic; the sweep farms them over a worker
 //! pool (scoped threads + an atomic job cursor — the share-nothing
 //! pattern from the workspace's hpc-parallel guides) and reassembles
-//! results by index, so the output is identical for any thread count.
+//! results by index, so the output is identical for any thread count
+//! (pinned by the golden regression test in `tests/golden_sweep.rs`).
 
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 use crate::metrics::TechniqueMetrics;
+use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
 use cmpleak_power::PowerParams;
-use cmpleak_workloads::WorkloadSpec;
+use cmpleak_workloads::{ScenarioSpec, WorkloadSpec};
 use serde::Serialize;
 
 /// Sweep parameters.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
-    /// Benchmarks to run (paper: the six-benchmark suite).
-    pub benchmarks: Vec<WorkloadSpec>,
+    /// Scenarios to run (paper: the six homogeneous benchmarks; mixes
+    /// and trace replays slot in the same axis).
+    pub scenarios: Vec<Scenario>,
     /// Total L2 sizes in MB (paper: 1, 2, 4, 8).
     pub sizes_mb: Vec<usize>,
     /// Techniques (paper: protocol + decay/sel_decay at 512K/128K/64K).
@@ -38,7 +41,7 @@ impl SweepConfig {
     /// The paper's full grid at a given scale.
     pub fn paper(instructions_per_core: u64) -> Self {
         Self {
-            benchmarks: WorkloadSpec::paper_suite(),
+            scenarios: WorkloadSpec::paper_suite().into_iter().map(Scenario::Homogeneous).collect(),
             sizes_mb: vec![1, 2, 4, 8],
             techniques: Technique::paper_set(),
             instructions_per_core,
@@ -52,7 +55,16 @@ impl SweepConfig {
     pub fn smoke(instructions_per_core: u64) -> Self {
         let mut cfg = Self::paper(instructions_per_core);
         cfg.sizes_mb = vec![1];
-        cfg.benchmarks.truncate(2);
+        cfg.scenarios.truncate(2);
+        cfg
+    }
+
+    /// The heterogeneous-mix grid: the three curated multiprogrammed
+    /// scenarios over the paper's technique set at one size.
+    pub fn mixes(instructions_per_core: u64) -> Self {
+        let mut cfg = Self::paper(instructions_per_core);
+        cfg.scenarios = ScenarioSpec::paper_mixes().into_iter().map(Scenario::Mix).collect();
+        cfg.sizes_mb = vec![4];
         cfg
     }
 }
@@ -60,9 +72,9 @@ impl SweepConfig {
 /// One evaluated cell of the grid.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepCell {
-    /// Benchmark name.
-    pub benchmark: &'static str,
-    /// Technique paper label (`baseline` rows are included).
+    /// Scenario label (`baseline` rows are included).
+    pub benchmark: String,
+    /// Technique paper label.
     pub technique: String,
     /// Total L2 MB.
     pub size_mb: usize,
@@ -81,8 +93,8 @@ pub struct SweepCell {
 /// All cells of a sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepResults {
-    /// Evaluated cells, ordered (benchmark, size, technique) with the
-    /// baseline first within each (benchmark, size) group.
+    /// Evaluated cells, ordered (scenario, size, technique) with the
+    /// baseline first within each (scenario, size) group.
     pub cells: Vec<SweepCell>,
 }
 
@@ -94,7 +106,7 @@ impl SweepResults {
             .find(|c| c.benchmark == benchmark && c.technique == technique && c.size_mb == size_mb)
     }
 
-    /// Mean metrics of `technique` at `size_mb` across all benchmarks
+    /// Mean metrics of `technique` at `size_mb` across all scenarios
     /// (the aggregation of Figures 3–5).
     pub fn mean_over_benchmarks(
         &self,
@@ -110,12 +122,12 @@ impl SweepResults {
         (!samples.is_empty()).then(|| TechniqueMetrics::mean(&samples))
     }
 
-    /// Distinct benchmark names present, in first-seen order.
-    pub fn benchmarks(&self) -> Vec<&'static str> {
-        let mut v: Vec<&'static str> = Vec::new();
+    /// Distinct scenario labels present, in first-seen order.
+    pub fn benchmarks(&self) -> Vec<String> {
+        let mut v: Vec<String> = Vec::new();
         for c in &self.cells {
             if !v.contains(&c.benchmark) {
-                v.push(c.benchmark);
+                v.push(c.benchmark.clone());
             }
         }
         v
@@ -124,7 +136,7 @@ impl SweepResults {
 
 fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell {
     SweepCell {
-        benchmark: result.benchmark,
+        benchmark: result.benchmark.clone(),
         technique: result.technique.clone(),
         size_mb: result.total_l2_mb,
         metrics,
@@ -137,15 +149,15 @@ fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell 
 
 /// Run the sweep.
 pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
-    // Job list: for each (benchmark, size): baseline + each technique.
+    // Job list: for each (scenario, size): baseline + each technique.
     let mut jobs: Vec<ExperimentConfig> = Vec::new();
-    for &bench in &cfg.benchmarks {
+    for scenario in &cfg.scenarios {
         for &size in &cfg.sizes_mb {
             let mut techs = vec![Technique::Baseline];
             techs.extend(cfg.techniques.iter().copied());
             for tech in techs {
                 jobs.push(ExperimentConfig {
-                    benchmark: bench,
+                    scenario: scenario.clone(),
                     technique: tech,
                     total_l2_mb: size,
                     instructions_per_core: cfg.instructions_per_core,
@@ -195,7 +207,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
     let results: Vec<ExperimentResult> =
         results.into_iter().map(|r| r.expect("all jobs completed")).collect();
 
-    // Group per (benchmark, size): first entry is the baseline.
+    // Group per (scenario, size): first entry is the baseline.
     let group = 1 + cfg.techniques.len();
     let mut cells = Vec::with_capacity(results.len());
     for chunk in results.chunks(group) {
@@ -214,7 +226,10 @@ mod tests {
 
     fn tiny() -> SweepConfig {
         SweepConfig {
-            benchmarks: vec![WorkloadSpec::mpeg2dec(), WorkloadSpec::volrend()],
+            scenarios: vec![
+                Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+                Scenario::Homogeneous(WorkloadSpec::volrend()),
+            ],
             sizes_mb: vec![1],
             techniques: vec![Technique::Protocol, Technique::Decay { decay_cycles: 16 * 1024 }],
             instructions_per_core: 40_000,
@@ -227,7 +242,7 @@ mod tests {
     #[test]
     fn sweep_produces_all_cells_in_order() {
         let res = run_sweep(&tiny());
-        // 2 benchmarks x 1 size x (baseline + 2 techniques).
+        // 2 scenarios x 1 size x (baseline + 2 techniques).
         assert_eq!(res.cells.len(), 6);
         assert_eq!(res.cells[0].technique, "baseline");
         assert_eq!(res.cells[1].technique, "protocol");
@@ -260,5 +275,24 @@ mod tests {
         let res = run_sweep(&tiny());
         assert!(res.cell("VOLREND", "protocol", 1).is_some());
         assert!(res.cell("VOLREND", "protocol", 8).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_scenarios_sweep_end_to_end() {
+        let mut cfg = SweepConfig::mixes(30_000);
+        cfg.sizes_mb = vec![1];
+        cfg.techniques = vec![Technique::Protocol];
+        cfg.threads = 2;
+        let res = run_sweep(&cfg);
+        assert_eq!(res.cells.len(), 3 * 2, "3 mixes × (baseline + protocol)");
+        assert_eq!(
+            res.benchmarks(),
+            vec!["mix_stream_revisit", "mix_producer_share", "mix_bursty_idle"]
+        );
+        for mix in res.benchmarks() {
+            let cell = res.cell(&mix, "protocol", 1).unwrap();
+            assert!(cell.metrics.occupation < 1.0, "{mix}: protocol gates something");
+            assert!(cell.cycles > 0);
+        }
     }
 }

@@ -201,4 +201,117 @@ proptest! {
         prop_assert_eq!(base >> 6 << 6, base);
         prop_assert_eq!(geom.line_of(base), line);
     }
+
+    /// Write buffer under *interleaved* pushes and drains: statistics
+    /// stay consistent (`len = stores − coalesced − drained`), stalls
+    /// are counted exactly when a non-coalescing store meets a full
+    /// buffer, coalescing keeps working at capacity, and `has_pending`
+    /// agrees with a reference set.
+    #[test]
+    fn write_buffer_edge_cases_under_interleaving(
+        events in proptest::collection::vec((0u64..6, 0u32..4), 1..200),
+        capacity in 1usize..5,
+    ) {
+        let mut wb = WriteBuffer::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let (mut stalls, mut accepted, mut coalesced, mut drained) = (0u64, 0u64, 0u64, 0u64);
+        for (line, action) in events {
+            if action == 0 {
+                // Drain one entry.
+                let popped = wb.pop();
+                prop_assert_eq!(popped.map(|l| l.0), model.pop_front());
+                drained += u64::from(popped.is_some());
+                continue;
+            }
+            let was_full = model.len() >= capacity;
+            let coalesces = model.contains(&line);
+            let ok = wb.push(LineAddr(line));
+            if coalesces {
+                prop_assert!(ok, "coalescing must succeed even at capacity");
+                accepted += 1;
+                coalesced += 1;
+            } else if was_full {
+                prop_assert!(!ok, "full buffer must refuse a fresh line");
+                stalls += 1;
+            } else {
+                prop_assert!(ok);
+                accepted += 1;
+                model.push_back(line);
+            }
+            for l in 0..6u64 {
+                prop_assert_eq!(
+                    wb.has_pending(LineAddr(l)),
+                    model.contains(&l),
+                    "has_pending({}) disagrees with the reference", l
+                );
+            }
+        }
+        let stats = wb.stats();
+        prop_assert_eq!(stats.stores, accepted);
+        prop_assert_eq!(stats.coalesced, coalesced);
+        prop_assert_eq!(stats.drained, drained);
+        prop_assert_eq!(stats.full_stalls, stalls);
+        prop_assert_eq!(wb.len() as u64, accepted - coalesced - drained);
+    }
+
+    /// MSHR allocation at the capacity boundary: entry-full and
+    /// target-full both report `Full` without mutating state, secondary
+    /// merges keep working while the file is entry-full, exclusivity is
+    /// sticky once any merged request asked for it, and issue order is
+    /// FIFO-once regardless of completion order.
+    #[test]
+    fn mshr_edge_cases_at_capacity(
+        lines in proptest::collection::vec(0u64..6, 1..40),
+        max_targets in 1usize..4,
+    ) {
+        let mut mshr: Mshr<u32> = Mshr::new(2, max_targets);
+        let mut targets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut exclusive: HashMap<u64, bool> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for (i, line) in lines.iter().copied().enumerate() {
+            let tag = i as u32;
+            let want_excl = i % 3 == 0;
+            let before_len = mshr.len();
+            match mshr.allocate(LineAddr(line), tag, want_excl) {
+                MshrAlloc::Primary => {
+                    prop_assert!(before_len < 2, "primary may not exceed capacity");
+                    prop_assert!(!targets.contains_key(&line));
+                    targets.insert(line, vec![tag]);
+                    exclusive.insert(line, want_excl);
+                    order.push(line);
+                }
+                MshrAlloc::Secondary => {
+                    let t = targets.get_mut(&line).expect("secondary implies existing entry");
+                    prop_assert!(t.len() < max_targets, "merge beyond target cap");
+                    t.push(tag);
+                    let e = exclusive.get_mut(&line).unwrap();
+                    *e |= want_excl;
+                }
+                MshrAlloc::Full => {
+                    let entry_full = !targets.contains_key(&line) && before_len >= 2;
+                    let target_full =
+                        targets.get(&line).is_some_and(|t| t.len() >= max_targets);
+                    prop_assert!(entry_full || target_full, "Full only at a real limit");
+                    prop_assert_eq!(mshr.len(), before_len, "Full must not mutate");
+                }
+            }
+        }
+        // Issue order is FIFO over primaries, each issued exactly once.
+        let mut issued = Vec::new();
+        while let Some(e) = mshr.next_to_issue() {
+            issued.push(e.line.0);
+        }
+        prop_assert_eq!(&issued, &order, "FIFO issue order");
+        prop_assert!(mshr.next_to_issue().is_none(), "issue happens once");
+        prop_assert!(mshr.peek_unissued().is_none());
+        // Complete in reverse order: targets and exclusivity intact.
+        for line in order.iter().rev() {
+            let e = mshr.complete(LineAddr(*line)).expect("entry present");
+            prop_assert_eq!(&e.targets, targets.get(line).unwrap());
+            prop_assert_eq!(e.exclusive, exclusive[line], "exclusivity must be sticky");
+            prop_assert!(e.issued);
+        }
+        prop_assert!(mshr.is_empty());
+        prop_assert!(mshr.complete(LineAddr(0)).is_none(), "double complete is None");
+    }
 }

@@ -52,7 +52,10 @@ impl EnergyBreakdown {
 }
 
 /// Result of evaluating a run's power/thermal behaviour.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (no tolerance): equality means the two reports
+/// are bit-identical, as the record/replay differential tests require.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerReport {
     /// Energy totals by component.
     pub energy: EnergyBreakdown,

@@ -1,6 +1,8 @@
 //! Simulation statistics and the power-trace sampling the thermal model
 //! consumes.
 
+use cmpleak_cpu::CoreStats;
+
 /// Per-L1 statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct L1Stats {
@@ -114,12 +116,22 @@ pub struct IntervalActivity {
 }
 
 /// Full result of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter: two runs are equal only when they
+/// are *bit-identical*, which is what the trace record/replay
+/// differential tests assert.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles until every core drained and all queues emptied.
     pub cycles: u64,
     /// Total instructions dispatched.
     pub instructions: u64,
+    /// Per-core pipeline statistics (the heterogeneous-scenario
+    /// breakdown: with different workloads per core, per-core IPC and
+    /// stall profiles diverge and the aggregate hides it).
+    pub cores: Vec<CoreStats>,
+    /// Per-core workload report names, index-aligned with [`Self::cores`].
+    pub core_workloads: Vec<String>,
     /// Per-core L1 statistics.
     pub l1: Vec<L1Stats>,
     /// Per-core L2 statistics.
@@ -205,6 +217,16 @@ impl SimStats {
             0.0
         } else {
             self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per cycle of one core (heterogeneous scenarios make
+    /// this differ per core; all cores share the chip's cycle count).
+    pub fn core_ipc(&self, core: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cores[core].instructions as f64 / self.cycles as f64
         }
     }
 

@@ -578,6 +578,8 @@ impl CmpSystem {
         SimStats {
             cycles: now,
             instructions: self.cores.iter().map(|c| c.stats().instructions).sum(),
+            cores: self.cores.iter().map(|c| c.stats()).collect(),
+            core_workloads: self.workloads.iter().map(|w| w.name().to_string()).collect(),
             l1: self.l1s.iter().map(|l| l.stats()).collect(),
             l2: self.l2s.iter().map(|l| l.stats()).collect(),
             l2_on_line_cycles: on,

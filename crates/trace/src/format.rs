@@ -1,0 +1,416 @@
+//! The on-disk trace format (`CMPT`, version 1).
+//!
+//! # Layout
+//!
+//! ```text
+//! magic        4 bytes  b"CMPT"
+//! version      u16 LE
+//! label        u16 LE length + UTF-8 bytes (scenario label)
+//! seed         u64 LE   (workload seed the streams were generated with)
+//! n_cores      u32 LE
+//! per core:    name (u16 LE length + UTF-8), ops u64 LE,
+//!              instructions u64 LE, stream_len u64 LE
+//! streams      n_cores encoded op streams, concatenated in core order
+//! ```
+//!
+//! Stream offsets are not stored: they follow from the header length and
+//! the per-core `stream_len` prefix sums, so a reader can seek straight
+//! to any core's stream without touching the others.
+//!
+//! # Op encoding
+//!
+//! Each [`TraceOp`] is one LEB128 varint whose low two bits tag the kind
+//! and whose remaining bits carry the payload:
+//!
+//! * `Exec(n)`  → `n << 2 | 0`
+//! * `Load(a)`  → `zigzag(a − prev) << 2 | 1`
+//! * `Store(a)` → `zigzag(a − prev) << 2 | 2`
+//!
+//! where `prev` is the previous memory address of the same stream
+//! (initially 0, updated by every load/store). The generators' spatial
+//! locality makes most deltas fit in 1–2 bytes, so a stream costs ≈2
+//! bytes per op against 9+ for a naive tag+u64 encoding.
+
+use cmpleak_cpu::TraceOp;
+use std::io::{self, Read};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"CMPT";
+/// Current format version. Readers reject anything newer.
+pub const VERSION: u16 = 1;
+
+const TAG_EXEC: u64 = 0;
+const TAG_LOAD: u64 = 1;
+const TAG_STORE: u64 = 2;
+
+/// Append `v` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `buf` at `*pos`, advancing it. `None` on
+/// truncated input or an over-long/overflowing encoding.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        // The 10th byte may only carry the final bit of a u64; anything
+        // more is corruption and must not be silently truncated.
+        if shift == 63 && (byte & 0x7F) > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None; // over-long encoding: corrupt stream
+        }
+    }
+}
+
+/// Map a signed delta onto the unsigned varint domain (small magnitudes
+/// of either sign stay small).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Streaming encoder: one per core stream (carries the address-delta
+/// state).
+#[derive(Debug, Clone, Default)]
+pub struct OpEncoder {
+    prev_addr: u64,
+}
+
+impl OpEncoder {
+    /// Fresh stream state (`prev = 0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `op` to `out`.
+    ///
+    /// # Panics
+    /// Panics if an address delta's zigzag encoding needs more than 62
+    /// bits (magnitude ≥ 2^61): the two tag bits leave 62 payload bits
+    /// per key, and truncating silently would corrupt every later
+    /// delta-decoded address in the stream. No realistic address space
+    /// gets near this (the generators top out at 2^44); hitting it
+    /// means the workload emits nonsense addresses, which must fail at
+    /// record time, not replay time.
+    pub fn encode(&mut self, op: TraceOp, out: &mut Vec<u8>) {
+        let key = match op {
+            TraceOp::Exec(n) => (u64::from(n) << 2) | TAG_EXEC,
+            TraceOp::Load(addr) | TraceOp::Store(addr) => {
+                let delta = addr.wrapping_sub(self.prev_addr) as i64;
+                let z = zigzag(delta);
+                assert!(
+                    z >> 62 == 0,
+                    "address delta {delta:#x} (to {addr:#x}) exceeds the trace format's 62-bit payload"
+                );
+                self.prev_addr = addr;
+                let tag = if matches!(op, TraceOp::Load(_)) { TAG_LOAD } else { TAG_STORE };
+                (z << 2) | tag
+            }
+        };
+        write_varint(out, key);
+    }
+}
+
+/// Streaming decoder, mirroring [`OpEncoder`].
+#[derive(Debug, Clone, Default)]
+pub struct OpDecoder {
+    prev_addr: u64,
+}
+
+impl OpDecoder {
+    /// Fresh stream state (`prev = 0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode the next op from `buf` at `*pos`. `None` at end of stream
+    /// or on truncation.
+    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<TraceOp> {
+        let key = read_varint(buf, pos)?;
+        let payload = key >> 2;
+        match key & 0b11 {
+            TAG_EXEC => Some(TraceOp::Exec(payload.try_into().ok()?)),
+            tag @ (TAG_LOAD | TAG_STORE) => {
+                let addr = self.prev_addr.wrapping_add(unzigzag(payload) as u64);
+                self.prev_addr = addr;
+                Some(if tag == TAG_LOAD { TraceOp::Load(addr) } else { TraceOp::Store(addr) })
+            }
+            _ => None, // tag 3: corrupt stream
+        }
+    }
+}
+
+/// Per-core stream metadata as stored in the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreStreamInfo {
+    /// The recorded workload's report name (replay reuses it so replayed
+    /// statistics label cores identically to the live run).
+    pub name: String,
+    /// Ops in the stream.
+    pub ops: u64,
+    /// Σ `op.instructions()` over the stream — the largest per-core
+    /// instruction budget this trace can drive.
+    pub instructions: u64,
+    /// Encoded stream length in bytes.
+    pub len: u64,
+}
+
+/// Decoded trace file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version the file was written with.
+    pub version: u16,
+    /// Scenario label (e.g. a benchmark name or `mix_*` scenario name).
+    pub label: String,
+    /// Workload seed used at record time.
+    pub seed: u64,
+    /// Per-core stream metadata, core order.
+    pub cores: Vec<CoreStreamInfo>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("trace labels are short");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let mut len = [0u8; 2];
+    r.read_exact(&mut len)?;
+    let mut bytes = vec![0u8; usize::from(u16::from_le_bytes(len))];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| bad("trace header string is not UTF-8"))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+impl TraceHeader {
+    /// Number of per-core streams.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Encoded header size in bytes (streams start at this offset).
+    pub fn byte_len(&self) -> u64 {
+        let mut n = 4 + 2 + 2 + self.label.len() as u64 + 8 + 4;
+        for c in &self.cores {
+            n += 2 + c.name.len() as u64 + 8 * 3;
+        }
+        n
+    }
+
+    /// Byte offset of `core`'s stream from the start of the file.
+    pub fn stream_offset(&self, core: usize) -> u64 {
+        self.byte_len() + self.cores[..core].iter().map(|c| c.len).sum::<u64>()
+    }
+
+    /// Serialize the header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len() as usize);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        write_str(&mut out, &self.label);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&u32::try_from(self.cores.len()).unwrap().to_le_bytes());
+        for c in &self.cores {
+            write_str(&mut out, &c.name);
+            out.extend_from_slice(&c.ops.to_le_bytes());
+            out.extend_from_slice(&c.instructions.to_le_bytes());
+            out.extend_from_slice(&c.len.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a header from the start of `r`, validating magic and
+    /// version.
+    pub fn read(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(bad("not a CMPT trace file (bad magic)"));
+        }
+        let mut v = [0u8; 2];
+        r.read_exact(&mut v)?;
+        let version = u16::from_le_bytes(v);
+        if version == 0 || version > VERSION {
+            return Err(bad(format!(
+                "unsupported trace version {version} (reader supports ≤ {VERSION})"
+            )));
+        }
+        let label = read_str(r)?;
+        let seed = read_u64(r)?;
+        let mut n = [0u8; 4];
+        r.read_exact(&mut n)?;
+        let n_cores = u32::from_le_bytes(n);
+        if n_cores == 0 || n_cores > 4096 {
+            return Err(bad(format!("implausible core count {n_cores}")));
+        }
+        let mut cores = Vec::with_capacity(n_cores as usize);
+        for _ in 0..n_cores {
+            let name = read_str(r)?;
+            let ops = read_u64(r)?;
+            let instructions = read_u64(r)?;
+            let len = read_u64(r)?;
+            cores.push(CoreStreamInfo { name, ops, instructions, len });
+        }
+        Ok(Self { version, label, seed, cores })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_rejects_overflowing_tenth_byte() {
+        // Nine continuation bytes then a 10th byte whose payload exceeds
+        // the single bit a u64 has room for: corrupt, not truncatable.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x7E);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+        // The legitimate encoding of u64::MAX still decodes.
+        let mut good = Vec::new();
+        write_varint(&mut good, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_varint(&good, &mut pos), Some(u64::MAX));
+    }
+
+    #[test]
+    fn zigzag_is_involutive_and_small() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn op_encoding_roundtrips_with_delta_state() {
+        let ops = vec![
+            TraceOp::Exec(3),
+            TraceOp::Load(0x1000_0040),
+            TraceOp::Store(0x1000_0048),
+            TraceOp::Load(0x40), // large negative delta
+            TraceOp::Exec(0),
+            TraceOp::Store(u64::MAX),
+            TraceOp::Load(0),
+        ];
+        let mut enc = OpEncoder::new();
+        let mut buf = Vec::new();
+        for &op in &ops {
+            enc.encode(op, &mut buf);
+        }
+        let mut dec = OpDecoder::new();
+        let mut pos = 0;
+        let decoded: Vec<TraceOp> = std::iter::from_fn(|| dec.decode(&buf, &mut pos)).collect();
+        assert_eq!(decoded, ops);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit payload")]
+    fn oversized_delta_is_rejected_at_encode_time() {
+        let mut enc = OpEncoder::new();
+        let mut buf = Vec::new();
+        // First mem op: delta from 0 is the address itself; 1 << 62 has
+        // magnitude 2^62 > 2^61 and must be refused, not truncated.
+        enc.encode(TraceOp::Load(1 << 62), &mut buf);
+    }
+
+    #[test]
+    fn local_deltas_encode_compactly() {
+        let mut enc = OpEncoder::new();
+        let mut buf = Vec::new();
+        enc.encode(TraceOp::Load(1 << 36), &mut buf); // first op pays the full base
+        let before = buf.len();
+        for i in 1..100u64 {
+            enc.encode(TraceOp::Load((1 << 36) + i * 8), &mut buf);
+        }
+        let per_op = (buf.len() - before) as f64 / 99.0;
+        assert!(per_op <= 2.0, "sequential loads must cost ≤2 bytes/op, got {per_op}");
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = TraceHeader {
+            version: VERSION,
+            label: "mix_stream_revisit".into(),
+            seed: 42,
+            cores: vec![
+                CoreStreamInfo { name: "mpeg2enc".into(), ops: 10, instructions: 55, len: 21 },
+                CoreStreamInfo { name: "WATER-NS".into(), ops: 7, instructions: 40, len: 13 },
+            ],
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len() as u64, h.byte_len());
+        let parsed = TraceHeader::read(&mut bytes.as_slice()).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(h.stream_offset(0), h.byte_len());
+        assert_eq!(h.stream_offset(1), h.byte_len() + 21);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let h = TraceHeader { version: VERSION, label: "x".into(), seed: 0, cores: vec![] };
+        let mut bytes = h.encode();
+        bytes[0] = b'X';
+        assert!(TraceHeader::read(&mut bytes.as_slice()).is_err());
+        let mut bytes = h.encode();
+        bytes[4] = 0xFF; // version 0xFF..
+        assert!(TraceHeader::read(&mut bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `cmpleak-trace` — record, replay and inspect reference traces.
+//!
+//! The simulator's workloads are live generators ([`cmpleak_cpu::Workload`]);
+//! this crate decouples workload *acquisition* from *simulation* the way
+//! trace-driven cache simulators do: any workload can be recorded into a
+//! compact, versioned, seekable binary file ([`TraceRecorder`]) and
+//! replayed later ([`TraceFile`] → [`TraceWorkload`]) with **bit-identical**
+//! simulation results.
+//!
+//! The replay contract rests on one property of the core model: a core
+//! fetches ops only while its dispatched-instruction count is below its
+//! budget, so the set of ops a simulation consumes is exactly the stream
+//! prefix whose cumulative instruction count first reaches the budget —
+//! independent of the leakage technique, cache size or timing. Recording
+//! that prefix (which [`TraceRecorder::record_core`] does) therefore
+//! captures everything any same-budget simulation will ask for.
+//!
+//! See [`format`] for the file layout (varint ops, delta-encoded
+//! addresses, ≈2 bytes/op on the workspace's generators).
+
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use format::{CoreStreamInfo, OpDecoder, OpEncoder, TraceHeader, MAGIC, VERSION};
+pub use reader::{TraceFile, TraceWorkload};
+pub use writer::{record_workloads, TraceRecorder};

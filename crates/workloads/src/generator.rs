@@ -103,9 +103,10 @@ impl GenerationalWorkload {
     }
 
     /// The producer core of `region` during `epoch` — identical on every
-    /// core, so all four streams agree on who writes without any runtime
-    /// coordination.
-    fn producer(&self, region: u64, epoch: u64) -> usize {
+    /// core, so all streams agree on who writes without any runtime
+    /// coordination. Public so the property suite can check the rotation
+    /// schedule directly.
+    pub fn producer(&self, region: u64, epoch: u64) -> usize {
         (mix64(
             self.seed
                 ^ region.wrapping_mul(0xA24B_AED4_963E_E407)

@@ -25,8 +25,10 @@
 
 pub mod generator;
 pub mod rng;
+pub mod scenario;
 pub mod spec;
 
 pub use generator::GenerationalWorkload;
 pub use rng::Xoshiro256pp;
+pub use scenario::ScenarioSpec;
 pub use spec::{BenchClass, WorkloadSpec};

@@ -85,9 +85,19 @@ impl WorkloadSpec {
         ]
     }
 
-    /// Look a benchmark up by its paper name.
+    /// The paper suite plus the beyond-paper specs used by the
+    /// heterogeneous scenario mixes.
+    pub fn extended_suite() -> Vec<WorkloadSpec> {
+        let mut v = Self::paper_suite();
+        v.push(Self::producer_exchange());
+        v.push(Self::idle_bursty());
+        v
+    }
+
+    /// Look a benchmark up by its paper name (extended-suite specs
+    /// included).
     pub fn by_name(name: &str) -> Option<WorkloadSpec> {
-        Self::paper_suite().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
+        Self::extended_suite().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
     }
 
     /// MPEG-2 encoder (ALPbench): streaming frame input, store-heavy
@@ -224,6 +234,55 @@ impl WorkloadSpec {
             shared_fraction: 0.14,
             shared_regions: 24,
             share_epoch_ops: 20_000,
+            revisit: true,
+        }
+    }
+
+    /// Producer-heavy sharing kernel (beyond the paper): a large slice
+    /// of the traffic targets the shared segment and the producer role
+    /// rotates every few thousand ops, maximising ownership migration
+    /// and the invalidation traffic the Protocol technique feeds on.
+    /// Built for the `mix_producer_share` heterogeneous scenario.
+    pub fn producer_exchange() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "producer",
+            class: BenchClass::Multimedia,
+            pool_regions: 512,
+            region_bytes: 8192,
+            hot_regions: 4,
+            generation_bursts: 8,
+            burst_lines: 8,
+            accesses_per_line: 64,
+            exec_gap: (2, 6),
+            store_lines: 0.50,
+            write_fraction: 0.90,
+            shared_fraction: 0.40,
+            shared_regions: 32,
+            share_epoch_ops: 5_000,
+            revisit: true,
+        }
+    }
+
+    /// Idle/bursty core (beyond the paper): short memory bursts
+    /// separated by long ALU phases — the low-occupancy neighbour of the
+    /// `mix_bursty_idle` scenario, whose mostly-dead bank is where the
+    /// leakage techniques should shine without any IPC to lose.
+    pub fn idle_bursty() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "bursty",
+            class: BenchClass::Scientific,
+            pool_regions: 32,
+            region_bytes: 8192,
+            hot_regions: 2,
+            generation_bursts: 4,
+            burst_lines: 4,
+            accesses_per_line: 8,
+            exec_gap: (40, 120),
+            store_lines: 0.25,
+            write_fraction: 0.80,
+            shared_fraction: 0.02,
+            shared_regions: 8,
+            share_epoch_ops: 50_000,
             revisit: true,
         }
     }

@@ -2,8 +2,8 @@
 //! partitioning and structural invariants must hold for every preset,
 //! core id and seed.
 
-use cmpleak_cpu::{TraceOp, Workload};
-use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+use cmpleak_cpu::{CoreConfig, CoreModel, CorePort, TraceOp, Workload};
+use cmpleak_workloads::{GenerationalWorkload, ScenarioSpec, WorkloadSpec};
 use proptest::prelude::*;
 
 const SHARED_BASE: u64 = 1 << 44;
@@ -101,5 +101,113 @@ proptest! {
                 "region {region} written by {writers:?} within one epoch window"
             );
         }
+    }
+
+    /// Driving any suite stream through the core model retires *exactly*
+    /// the advertised instruction budget — the fixed-work contract every
+    /// cross-technique comparison (and the trace replay oracle) rests
+    /// on.
+    #[test]
+    fn streams_retire_exactly_the_advertised_budget(
+        idx in 0usize..8,
+        seed in 0u64..10_000,
+        budget in 5_000u64..20_000,
+    ) {
+        let spec = WorkloadSpec::extended_suite()[idx];
+        let mut wl = GenerationalWorkload::new(spec, 0, 4, seed);
+        let mut core = CoreModel::new(CoreConfig::default(), budget);
+        let mut port = InstantPort::default();
+        let mut guard = 0u64;
+        while !core.drained() {
+            core.tick(&mut wl, &mut port);
+            for id in port.pending.drain(..) {
+                core.on_load_complete(id);
+            }
+            guard += 1;
+            prop_assert!(guard < budget * 4 + 10_000, "{}: core wedged", spec.name);
+        }
+        prop_assert_eq!(core.stats().instructions, budget, "{}", spec.name);
+    }
+
+    /// Private address footprints are pairwise disjoint across cores —
+    /// including *heterogeneous* assignments where every core runs a
+    /// different spec (the scenario-mix guarantee).
+    #[test]
+    fn private_addresses_never_collide_across_cores(
+        seed in 0u64..10_000,
+        rot in 0usize..8,
+    ) {
+        let mut specs = WorkloadSpec::extended_suite();
+        specs.rotate_left(rot);
+        specs.truncate(4);
+        let mix = ScenarioSpec::new("prop_mix", specs);
+        let mut wls = mix.build_workloads(4, seed);
+        let mut private_lines: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
+        for (core, w) in wls.iter_mut().enumerate() {
+            for _ in 0..20_000 {
+                match w.next_op() {
+                    TraceOp::Load(a) | TraceOp::Store(a) if a < SHARED_BASE => {
+                        private_lines[core].insert(a / 64);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(!private_lines[core].is_empty(), "core {} has private traffic", core);
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                prop_assert!(
+                    private_lines[a].is_disjoint(&private_lines[b]),
+                    "cores {a} and {b} collide on private lines"
+                );
+            }
+        }
+    }
+
+    /// The shared-segment producer changes across epochs (ownership
+    /// migrates every `share_epoch_ops`) and every core agrees on who it
+    /// is without coordination.
+    #[test]
+    fn producers_rotate_across_epochs_and_cores_agree(
+        idx in suite_index(),
+        seed in 0u64..10_000,
+        region in 0u64..8,
+    ) {
+        let spec = WorkloadSpec::paper_suite()[idx];
+        let ws: Vec<GenerationalWorkload> =
+            (0..4).map(|c| GenerationalWorkload::new(spec, c, 4, seed)).collect();
+        let mut producers = std::collections::HashSet::new();
+        let mut changes = 0u32;
+        let mut prev = None;
+        for epoch in 0..40u64 {
+            let p = ws[0].producer(region, epoch);
+            prop_assert!(p < 4, "producer must be a real core");
+            for w in &ws[1..] {
+                prop_assert_eq!(w.producer(region, epoch), p, "cores disagree at epoch {}", epoch);
+            }
+            if prev.is_some_and(|q: usize| q != p) {
+                changes += 1;
+            }
+            prev = Some(p);
+            producers.insert(p);
+        }
+        prop_assert!(producers.len() > 1, "ownership never migrated in 40 epochs");
+        prop_assert!(changes >= 10, "rotation too rare: {} changes in 40 epochs", changes);
+    }
+}
+
+/// Port that accepts everything and completes loads at the next tick.
+#[derive(Default)]
+struct InstantPort {
+    pending: Vec<u64>,
+}
+
+impl CorePort for InstantPort {
+    fn try_load(&mut self, _addr: u64, id: u64) -> bool {
+        self.pending.push(id);
+        true
+    }
+    fn try_store(&mut self, _addr: u64) -> bool {
+        true
     }
 }

@@ -16,7 +16,9 @@ fn main() {
         Technique::Baseline,
         4, // MB of total L2
     );
-    cfg.instructions_per_core = 1_000_000;
+    // CMPLEAK_INSTR shrinks the budget for CI smoke runs.
+    cfg.instructions_per_core =
+        std::env::var("CMPLEAK_INSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
 
     println!("simulating baseline (always-on L2) ...");
     let baseline = run_experiment(&cfg);

@@ -1,0 +1,72 @@
+//! Heterogeneous multiprogrammed scenarios + trace record/replay.
+//!
+//! Runs the three curated workload mixes under Protocol and Decay,
+//! printing the per-core breakdown only heterogeneous runs expose, then
+//! records one mix to a trace file and verifies that replaying it is
+//! bit-identical to live generation.
+//!
+//! ```text
+//! cargo run --release --example scenario_mix
+//! ```
+
+use cmp_leakage::core::metrics::TechniqueMetrics;
+use cmp_leakage::core::{run_experiment, ExperimentConfig, Scenario, Technique};
+use cmp_leakage::workloads::ScenarioSpec;
+
+fn main() {
+    // CMPLEAK_INSTR shrinks the budget for CI smoke runs.
+    let instr: u64 =
+        std::env::var("CMPLEAK_INSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(400_000);
+
+    for mix in ScenarioSpec::paper_mixes() {
+        let mut cfg =
+            ExperimentConfig::paper_scenario(Scenario::Mix(mix.clone()), Technique::Baseline, 4);
+        cfg.instructions_per_core = instr;
+        let base = run_experiment(&cfg);
+        println!("\nscenario {} (4 MB total L2, {instr} instr/core):", mix.name);
+        println!("  per-core breakdown (baseline):");
+        for (c, name) in base.stats.core_workloads.iter().enumerate() {
+            let cs = &base.stats.cores[c];
+            println!(
+                "    core {c}: {:10} {:>8} loads {:>8} stores  {:>7} window-stall cycles",
+                name, cs.loads, cs.stores, cs.window_stall_cycles
+            );
+        }
+        for technique in [Technique::Protocol, Technique::Decay { decay_cycles: 128 * 1024 }] {
+            cfg.technique = technique;
+            let r = run_experiment(&cfg);
+            let m = TechniqueMetrics::compare(&base, &r);
+            println!(
+                "  {:10} occupation {:5.1}%  energy −{:.1}%  IPC loss {:.2}%",
+                r.technique,
+                m.occupation * 100.0,
+                m.energy_reduction * 100.0,
+                m.ipc_loss * 100.0
+            );
+        }
+    }
+
+    // Record → replay round trip on one mix.
+    let scenario = Scenario::Mix(ScenarioSpec::stream_revisit());
+    let path = std::env::temp_dir().join("scenario_mix_example.cmpt");
+    scenario.record(4, 42, instr).save(&path).expect("trace written");
+    println!("\nrecorded {} -> {}", scenario.label(), path.display());
+
+    let mut live_cfg =
+        ExperimentConfig::paper_scenario(scenario, Technique::Decay { decay_cycles: 64 * 1024 }, 4);
+    live_cfg.instructions_per_core = instr;
+    let live = run_experiment(&live_cfg);
+
+    let mut replay_cfg = live_cfg.clone();
+    replay_cfg.scenario = Scenario::from_trace(&path).expect("trace readable");
+    let replay = run_experiment(&replay_cfg);
+
+    assert_eq!(live.stats, replay.stats, "replay must be bit-identical");
+    assert_eq!(live.power, replay.power, "energy must be bit-identical");
+    println!(
+        "replay verified bit-identical: {} cycles, {:.3} µJ",
+        replay.stats.cycles,
+        replay.power.energy.total_pj() / 1e6
+    );
+    std::fs::remove_file(&path).ok();
+}

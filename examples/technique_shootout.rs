@@ -22,7 +22,9 @@ fn main() {
 
     for total_mb in [1usize, 4] {
         let mut cfg = ExperimentConfig::paper(spec, Technique::Baseline, total_mb);
-        cfg.instructions_per_core = 1_500_000;
+        // CMPLEAK_INSTR shrinks the budget for CI smoke runs.
+        cfg.instructions_per_core =
+            std::env::var("CMPLEAK_INSTR").ok().and_then(|v| v.parse().ok()).unwrap_or(1_500_000);
         let base = run_experiment(&cfg);
         println!(
             "\n[{total_mb} MB total L2]  baseline: IPC {:.2}, energy {:.2} µJ",

@@ -19,7 +19,8 @@
 //! | [`mem`] | `cmpleak-mem` | tag arrays, MSHRs, write buffers, decay counters |
 //! | [`coherence`] | `cmpleak-coherence` | MESI+TC/TD (Fig. 2), Table I, MOESI, techniques |
 //! | [`cpu`] | `cmpleak-cpu` | core timing model, trace/workload contract |
-//! | [`workloads`] | `cmpleak-workloads` | synthetic SPLASH-2/ALPbench-class generators |
+//! | [`workloads`] | `cmpleak-workloads` | synthetic SPLASH-2/ALPbench-class generators, scenario mixes |
+//! | [`trace`] | `cmpleak-trace` | record/replay/inspect binary reference traces |
 //! | [`system`] | `cmpleak-system` | the cycle-level CMP simulator (Fig. 1) |
 //! | [`power`] | `cmpleak-power` | energy, thermal RC model, Liao-style leakage |
 //! | [`core`] | `cmpleak-core` | experiments, metrics, sweeps, figure builders |
@@ -66,6 +67,7 @@ pub use cmpleak_cpu as cpu;
 pub use cmpleak_mem as mem;
 pub use cmpleak_power as power;
 pub use cmpleak_system as system;
+pub use cmpleak_trace as trace;
 pub use cmpleak_workloads as workloads;
 
 /// Workspace version, for reports.

@@ -1,0 +1,82 @@
+//! Golden regression test: the full metric set of a small sweep —
+//! leakage savings, IPC, energy, temperatures — is pinned to a
+//! checked-in JSON snapshot, bit-for-bit.
+//!
+//! The same grid is run at 1, 2 and 8 worker threads and every result
+//! must serialize identically: `run_sweep`'s claim that thread count
+//! never changes the output is enforced here, not just asserted on two
+//! counters.
+//!
+//! If an *intentional* model change shifts the numbers, regenerate with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_sweep
+//! ```
+//!
+//! and commit the new snapshot together with the change that explains
+//! it.
+//!
+//! Portability: the snapshot pins full-precision floats that pass
+//! through `f64::exp` (the leakage temperature factor), whose last-ULP
+//! results can differ between libm implementations. It is blessed on
+//! the CI platform (linux x86_64 / glibc); a byte-level mismatch on
+//! another OS or libc with *no* model change means platform libm
+//! divergence, not a regression — re-bless locally to compare.
+
+use cmp_leakage::core::sweep::{run_sweep, SweepConfig};
+use cmp_leakage::core::{Scenario, Technique, WorkloadSpec};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sweep_2bench_1mb.json")
+}
+
+fn grid(threads: usize) -> SweepConfig {
+    SweepConfig {
+        scenarios: vec![
+            Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+            Scenario::Homogeneous(WorkloadSpec::volrend()),
+        ],
+        sizes_mb: vec![1],
+        techniques: Technique::paper_set(),
+        instructions_per_core: 40_000,
+        seed: 42,
+        n_cores: 2,
+        threads,
+    }
+}
+
+#[test]
+fn sweep_metrics_match_golden_snapshot_for_1_2_8_threads() {
+    let mut rendered = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let res = run_sweep(&grid(threads));
+        assert_eq!(res.cells.len(), 2 * (1 + 7), "2 benchmarks × (baseline + 7 techniques)");
+        let mut json = serde_json::to_string_pretty(&res).expect("serializable");
+        json.push('\n');
+        rendered.push((threads, json));
+    }
+    let (_, reference) = &rendered[0];
+    for (threads, json) in &rendered[1..] {
+        assert_eq!(
+            json, reference,
+            "sweep output with {threads} threads differs from the 1-thread run"
+        );
+    }
+
+    let path = golden_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, reference).unwrap();
+        eprintln!("blessed {} ({} bytes)", path.display(), reference.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {} ({e}); generate it with GOLDEN_BLESS=1", path.display())
+    });
+    assert_eq!(
+        reference, &golden,
+        "sweep metrics diverged from the golden snapshot; if the change is intentional, \
+         regenerate with GOLDEN_BLESS=1 and commit the new snapshot"
+    );
+}

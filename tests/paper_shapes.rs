@@ -8,14 +8,17 @@
 
 use cmp_leakage::core::figures::FigureSet;
 use cmp_leakage::core::sweep::{run_sweep, SweepConfig, SweepResults};
-use cmp_leakage::core::{Technique, WorkloadSpec};
+use cmp_leakage::core::{Scenario, Technique, WorkloadSpec};
 use std::sync::OnceLock;
 
 fn grid() -> &'static SweepResults {
     static GRID: OnceLock<SweepResults> = OnceLock::new();
     GRID.get_or_init(|| {
         run_sweep(&SweepConfig {
-            benchmarks: vec![WorkloadSpec::water_ns(), WorkloadSpec::mpeg2dec()],
+            scenarios: vec![
+                Scenario::Homogeneous(WorkloadSpec::water_ns()),
+                Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+            ],
             sizes_mb: vec![1, 4],
             techniques: vec![
                 Technique::Protocol,

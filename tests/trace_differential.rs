@@ -1,0 +1,85 @@
+//! The record/replay differential oracle.
+//!
+//! Recording a scenario's live streams and replaying them must be
+//! *invisible* to the simulator: for every technique of the paper set
+//! the replayed run's `SimStats` and `PowerReport` must be bit-identical
+//! to live generation. This pins the whole stack — generator
+//! determinism, trace encoding, the core model's fetch discipline — and
+//! gives every future PR a regression oracle: record once, replay
+//! forever.
+
+use cmp_leakage::coherence::Technique;
+use cmp_leakage::core::{run_experiment, ExperimentConfig, Scenario};
+use cmp_leakage::workloads::{ScenarioSpec, WorkloadSpec};
+use std::path::PathBuf;
+
+const INSTR: u64 = 25_000;
+const SEED: u64 = 42;
+
+fn all_techniques() -> Vec<Technique> {
+    let mut v = vec![Technique::Baseline];
+    v.extend(Technique::paper_set());
+    v
+}
+
+fn record_to_temp(scenario: &Scenario, tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cmpleak_diff_{tag}.cmpt"));
+    scenario.record(4, SEED, INSTR).save(&path).expect("trace written");
+    path
+}
+
+fn assert_replay_is_bit_identical(scenario: Scenario, tag: &str) {
+    let path = record_to_temp(&scenario, tag);
+    let replay_scenario = Scenario::from_trace(&path).expect("trace readable");
+    for technique in all_techniques() {
+        let mut live_cfg = ExperimentConfig::paper_scenario(scenario.clone(), technique, 1);
+        live_cfg.instructions_per_core = INSTR;
+        live_cfg.seed = SEED;
+        let live = run_experiment(&live_cfg);
+
+        let mut replay_cfg = live_cfg.clone();
+        replay_cfg.scenario = replay_scenario.clone();
+        let replay = run_experiment(&replay_cfg);
+
+        assert_eq!(
+            live.stats,
+            replay.stats,
+            "{tag}/{}: replayed SimStats diverged from live generation",
+            technique.name()
+        );
+        assert_eq!(
+            live.power,
+            replay.power,
+            "{tag}/{}: replayed PowerReport diverged from live generation",
+            technique.name()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_matches_live_for_every_technique_homogeneous() {
+    assert_replay_is_bit_identical(Scenario::Homogeneous(WorkloadSpec::mpeg2dec()), "homogeneous");
+}
+
+#[test]
+fn replay_matches_live_for_every_technique_heterogeneous() {
+    assert_replay_is_bit_identical(Scenario::Mix(ScenarioSpec::producer_sharing()), "mix");
+}
+
+#[test]
+fn replay_labels_cores_like_the_live_run() {
+    let scenario = Scenario::Mix(ScenarioSpec::bursty_idle());
+    let path = record_to_temp(&scenario, "labels");
+    let mut cfg = ExperimentConfig::paper_scenario(
+        Scenario::from_trace(&path).unwrap(),
+        Technique::Protocol,
+        1,
+    );
+    cfg.instructions_per_core = INSTR;
+    cfg.seed = SEED;
+    let r = run_experiment(&cfg);
+    assert_eq!(r.stats.core_workloads, vec!["WATER-NS", "bursty", "VOLREND", "bursty"]);
+    assert_eq!(r.benchmark, "mix_bursty_idle@trace");
+    std::fs::remove_file(&path).ok();
+}
