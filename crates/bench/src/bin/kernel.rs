@@ -1,0 +1,165 @@
+//! Kernel throughput harness: measures simulator instructions/second for
+//! every (scenario × technique) cell of the paper grid under both cycle
+//! kernels and emits `BENCH_kernel.json`.
+//!
+//! ```text
+//! kernel [--instr N] [--reps N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the grid and budget to a CI smoke (it checks that
+//! both kernels run and that the skip kernel is not slower by more than
+//! a sanity margin; the committed JSON is produced by a full run).
+
+use cmpleak_core::experiment::{run_experiment_with_scratch, ExperimentConfig, ExperimentScratch};
+use cmpleak_core::{Scenario, Technique, WorkloadSpec};
+use cmpleak_system::SimKernel;
+use cmpleak_workloads::ScenarioSpec;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct BenchCell {
+    scenario: String,
+    technique: String,
+    /// Simulated instructions per wall-clock second, per-cycle kernel.
+    per_cycle_ips: f64,
+    /// Simulated instructions per wall-clock second, skip kernel.
+    quiescence_skip_ips: f64,
+    /// `quiescence_skip_ips / per_cycle_ips`.
+    speedup: f64,
+    /// Simulated cycles of the run (identical for both kernels).
+    cycles: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    instructions_per_core: u64,
+    n_cores: usize,
+    total_l2_mb: usize,
+    reps: u32,
+    cells: Vec<BenchCell>,
+}
+
+struct Opts {
+    instr: u64,
+    reps: u32,
+    quick: bool,
+    out: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { instr: 300_000, reps: 3, quick: false, out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--instr" => opts.instr = args.next().and_then(|v| v.parse().ok()).expect("--instr N"),
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = Some(args.next().expect("--out PATH")),
+            other => panic!("unknown argument {other} (try --instr/--reps/--quick/--out)"),
+        }
+    }
+    if opts.quick {
+        opts.instr = opts.instr.min(40_000);
+        opts.reps = 1;
+    }
+    opts
+}
+
+fn grid(quick: bool) -> (Vec<Scenario>, Vec<Technique>) {
+    let mut scenarios: Vec<Scenario> =
+        WorkloadSpec::paper_suite().into_iter().map(Scenario::Homogeneous).collect();
+    scenarios.extend(ScenarioSpec::paper_mixes().into_iter().map(Scenario::Mix));
+    let mut techniques = vec![Technique::Baseline];
+    techniques.extend(Technique::paper_set());
+    if quick {
+        scenarios = vec![
+            Scenario::Homogeneous(WorkloadSpec::water_ns()),
+            Scenario::Mix(ScenarioSpec::bursty_idle()),
+        ];
+        techniques = vec![Technique::Baseline, Technique::Decay { decay_cycles: 64 * 1024 }];
+    }
+    (scenarios, techniques)
+}
+
+/// Best-of-`reps` instructions/second (and the run's cycle count).
+fn measure(cfg: &ExperimentConfig, reps: u32, scratch: &mut ExperimentScratch) -> (f64, u64) {
+    let mut best = 0f64;
+    let mut cycles = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run_experiment_with_scratch(cfg, scratch);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(r.stats.instructions as f64 / dt);
+        cycles = r.stats.cycles;
+    }
+    (best, cycles)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let (scenarios, techniques) = grid(opts.quick);
+    let total_l2_mb = 4;
+    let mut scratch = ExperimentScratch::default();
+    let mut cells = Vec::new();
+    println!(
+        "{:<20} {:<14} {:>12} {:>12} {:>8}",
+        "scenario", "technique", "percycle i/s", "skip i/s", "speedup"
+    );
+    for scenario in &scenarios {
+        for &technique in &techniques {
+            let mut cfg =
+                ExperimentConfig::paper_scenario(scenario.clone(), technique, total_l2_mb);
+            cfg.instructions_per_core = opts.instr;
+            cfg.kernel = SimKernel::PerCycle;
+            let (per_cycle_ips, cycles) = measure(&cfg, opts.reps, &mut scratch);
+            cfg.kernel = SimKernel::QuiescenceSkip;
+            let (skip_ips, skip_cycles) = measure(&cfg, opts.reps, &mut scratch);
+            assert_eq!(cycles, skip_cycles, "kernels diverged — run the differential tests");
+            let cell = BenchCell {
+                scenario: scenario.label(),
+                technique: technique.name(),
+                per_cycle_ips,
+                quiescence_skip_ips: skip_ips,
+                speedup: skip_ips / per_cycle_ips,
+                cycles,
+            };
+            println!(
+                "{:<20} {:<14} {:>12.3e} {:>12.3e} {:>7.2}x",
+                cell.scenario,
+                cell.technique,
+                cell.per_cycle_ips,
+                cell.quiescence_skip_ips,
+                cell.speedup
+            );
+            cells.push(cell);
+        }
+    }
+
+    let worst = cells.iter().map(|c| c.speedup).fold(f64::INFINITY, f64::min);
+    let bursty_best = cells
+        .iter()
+        .filter(|c| c.scenario == "mix_bursty_idle")
+        .map(|c| c.speedup)
+        .fold(0f64, f64::max);
+    println!("worst-cell speedup {worst:.2}x; best mix_bursty_idle speedup {bursty_best:.2}x");
+
+    let report = BenchReport {
+        instructions_per_core: opts.instr,
+        n_cores: 4,
+        total_l2_mb,
+        reps: opts.reps,
+        cells,
+    };
+    if let Some(path) = &opts.out {
+        let mut json = serde_json::to_string_pretty(&report).expect("serializable");
+        json.push('\n');
+        std::fs::write(path, json).expect("report written");
+        println!("wrote {path}");
+    }
+    if opts.quick {
+        // CI smoke: the skip kernel must never be catastrophically
+        // slower than the reference on the quick grid.
+        assert!(worst > 0.80, "skip kernel regressed >20% on the quick grid ({worst:.2}x)");
+    }
+}

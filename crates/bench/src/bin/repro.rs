@@ -127,6 +127,7 @@ fn cores_scaling(opts: &Opts) {
             seed: opts.seed,
             n_cores,
             power: Default::default(),
+            kernel: Default::default(),
         };
         let base = run_experiment(&mk(Technique::Baseline));
         for technique in [Technique::Protocol, Technique::Decay { decay_cycles: 128 * 1024 }] {

@@ -3,7 +3,7 @@
 use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
-use cmpleak_system::{run_simulation, CmpConfig, SimStats};
+use cmpleak_system::{run_simulation_with_scratch, CmpConfig, SimKernel, SimScratch, SimStats};
 use cmpleak_workloads::WorkloadSpec;
 
 /// Configuration of a single experiment.
@@ -25,6 +25,9 @@ pub struct ExperimentConfig {
     pub n_cores: usize,
     /// Power-model parameters.
     pub power: PowerParams,
+    /// Cycle kernel (both produce bit-identical results; the default
+    /// quiescence-skipping kernel is simply faster).
+    pub kernel: SimKernel,
 }
 
 impl ExperimentConfig {
@@ -44,6 +47,7 @@ impl ExperimentConfig {
             seed: 42,
             n_cores: 4,
             power: PowerParams::default(),
+            kernel: SimKernel::default(),
         }
     }
 
@@ -53,6 +57,7 @@ impl ExperimentConfig {
         cfg.n_cores = self.n_cores;
         cfg.l2.size_bytes = self.total_l2_mb * 1024 * 1024 / self.n_cores;
         cfg.instructions_per_core = self.instructions_per_core;
+        cfg.kernel = self.kernel;
         cfg
     }
 }
@@ -72,13 +77,30 @@ pub struct ExperimentResult {
     pub power: PowerReport,
 }
 
+/// Reusable allocation pools for back-to-back experiments (one per
+/// sweep worker thread): wraps the simulator's [`SimScratch`] so queue
+/// and event-ring capacities stay warm across grid cells.
+#[derive(Debug, Default)]
+pub struct ExperimentScratch {
+    sim: SimScratch,
+}
+
 /// Run the experiment: build per-core workloads, simulate, integrate
 /// energy.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    run_experiment_with_scratch(cfg, &mut ExperimentScratch::default())
+}
+
+/// [`run_experiment`] reusing `scratch`'s allocation pools. The result
+/// is identical — scratch only recycles emptied buffers.
+pub fn run_experiment_with_scratch(
+    cfg: &ExperimentConfig,
+    scratch: &mut ExperimentScratch,
+) -> ExperimentResult {
     let cmp = cfg.cmp_config();
     let workloads = cfg.scenario.build_workloads(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
     let bank_bytes = cmp.l2.size_bytes;
-    let stats = run_simulation(cmp, workloads);
+    let stats = run_simulation_with_scratch(cmp, workloads, &mut scratch.sim);
     let power = evaluate_energy(cfg.power, cfg.technique, cfg.n_cores, bank_bytes, &stats);
     ExperimentResult {
         benchmark: cfg.scenario.label(),

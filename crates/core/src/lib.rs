@@ -36,7 +36,10 @@ pub mod sweep;
 
 pub use cmpleak_coherence::Technique;
 pub use cmpleak_workloads::{BenchClass, ScenarioSpec, WorkloadSpec};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use experiment::{
+    run_experiment, run_experiment_with_scratch, ExperimentConfig, ExperimentResult,
+    ExperimentScratch,
+};
 pub use figures::{Figure, FigureSet};
 pub use metrics::TechniqueMetrics;
 pub use scenario::Scenario;

@@ -8,7 +8,9 @@
 //! results by index, so the output is identical for any thread count
 //! (pinned by the golden regression test in `tests/golden_sweep.rs`).
 
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::experiment::{
+    run_experiment_with_scratch, ExperimentConfig, ExperimentResult, ExperimentScratch,
+};
 use crate::metrics::TechniqueMetrics;
 use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
@@ -164,6 +166,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
                     seed: cfg.seed,
                     n_cores: cfg.n_cores,
                     power: PowerParams::default(),
+                    kernel: Default::default(),
                 });
             }
         }
@@ -189,12 +192,17 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
                 let next_job = &next_job;
                 let jobs = &jobs;
                 let res_tx = res_tx.clone();
-                s.spawn(move || loop {
-                    let i = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { return };
-                    let r = run_experiment(job);
-                    if res_tx.send((i, r)).is_err() {
-                        return;
+                s.spawn(move || {
+                    // Per-worker scratch: queue/event-ring allocations
+                    // are recycled across this worker's jobs.
+                    let mut scratch = ExperimentScratch::default();
+                    loop {
+                        let i = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { return };
+                        let r = run_experiment_with_scratch(job, &mut scratch);
+                        if res_tx.send((i, r)).is_err() {
+                            return;
+                        }
                     }
                 });
             }

@@ -19,5 +19,5 @@
 pub mod model;
 pub mod trace;
 
-pub use model::{CoreConfig, CoreModel, CorePort, CoreStats};
+pub use model::{CoreConfig, CoreModel, CorePort, CoreStats, ProgressState, StallKind};
 pub use trace::{ReplayWorkload, TraceOp, Workload};

@@ -57,6 +57,43 @@ pub trait CorePort {
     fn try_store(&mut self, addr: u64) -> bool;
 }
 
+/// What a core can do on its next tick — the quiescence-skipping kernel
+/// classifies cores with this to find spans where no core can dispatch.
+///
+/// The contract with [`CoreModel::tick`]: for every variant except
+/// `Ready`, a tick performs **no** workload or port call and mutates
+/// exactly the statistics that [`CoreModel::charge_stall_cycles`]
+/// charges, so `k` stalled ticks can be replaced by one bulk charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressState {
+    /// Budget exhausted and no retry pending: a tick is a strict no-op
+    /// (loads may still be outstanding; their completion is event-driven).
+    Idle,
+    /// Dispatch is blocked behind the oldest incomplete load (ROB window
+    /// full, or the load queue is full with a load waiting to issue).
+    /// Each tick charges one active + one window-stall cycle; only a
+    /// load completion can unblock it.
+    WindowBlocked,
+    /// A load to this address was refused by the hierarchy and will be
+    /// re-presented every tick. Whether the core is truly blocked
+    /// depends on hierarchy state the core cannot see; the caller must
+    /// check that the port would keep refusing. While it does, each
+    /// tick charges one active + one reject-stall cycle.
+    RetryLoad(u64),
+    /// The core can dispatch (or must attempt a store retry / workload
+    /// fetch whose outcome the core cannot predict): it must be ticked.
+    Ready,
+}
+
+/// Which stall statistic a bulk-charged span accrues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Window/load-queue stall (`window_stall_cycles`).
+    Window,
+    /// Hierarchy-reject stall (`reject_stall_cycles`).
+    Reject,
+}
+
 /// Runtime statistics of one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -140,6 +177,39 @@ impl CoreModel {
     /// Loads currently in flight.
     pub fn outstanding_loads(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Classify what the next [`CoreModel::tick`] would do, mirroring its
+    /// dispatch gates exactly (budget/retry, window, load queue, retry
+    /// class) without mutating anything. See [`ProgressState`].
+    pub fn progress_state(&self) -> ProgressState {
+        if self.stats.instructions >= self.budget && self.retry.is_none() {
+            return ProgressState::Idle;
+        }
+        if self.window_full() {
+            return ProgressState::WindowBlocked;
+        }
+        if let Some(TraceOp::Load(addr)) = self.retry {
+            // The tick would re-present this load. A full load queue
+            // blocks it before the port is consulted (counted as a
+            // window stall, exactly as `tick` does).
+            if self.outstanding.len() >= self.cfg.max_outstanding_loads {
+                return ProgressState::WindowBlocked;
+            }
+            return ProgressState::RetryLoad(addr);
+        }
+        ProgressState::Ready
+    }
+
+    /// Account `cycles` ticks spent in a stall state in one step: the
+    /// exact statistics `cycles` calls to [`CoreModel::tick`] would have
+    /// accrued in a state where dispatch cannot progress.
+    pub fn charge_stall_cycles(&mut self, kind: StallKind, cycles: u64) {
+        self.stats.active_cycles += cycles;
+        match kind {
+            StallKind::Window => self.stats.window_stall_cycles += cycles,
+            StallKind::Reject => self.stats.reject_stall_cycles += cycles,
+        }
     }
 
     #[inline]

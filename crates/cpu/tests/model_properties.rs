@@ -114,6 +114,67 @@ proptest! {
         prop_assert!(ipc <= width as f64 + 1e-9);
     }
 
+    /// `progress_state()` honours its contract with `tick()`: whenever
+    /// it reports a blocked state, the next tick must change exactly the
+    /// statistics `charge_stall_cycles` would charge (and dispatch
+    /// nothing); `Idle` ticks must change nothing at all.
+    #[test]
+    fn progress_state_predicts_tick_deltas(
+        ops in arb_ops(),
+        pattern in proptest::collection::vec(any::<bool>(), 1..8),
+        budget in 1u64..2000,
+        width in 1u32..8,
+        window in 1u64..64,
+        latency in 1u64..60,
+    ) {
+        use cmpleak_cpu::ProgressState;
+        let mut pattern = pattern;
+        pattern.push(true);
+        let cfg = CoreConfig { width, window, max_outstanding_loads: 3 };
+        let mut core = CoreModel::new(cfg, budget);
+        let mut wl = ReplayWorkload::cycle(ops);
+        let mut port = ScriptedPort::new(pattern, latency);
+        let mut guard = 0u64;
+        loop {
+            port.tick(&mut core);
+            let state = core.progress_state();
+            let before = core.stats();
+            let dispatched = core.tick(&mut wl, &mut port);
+            let after = core.stats();
+            match state {
+                ProgressState::Idle => {
+                    prop_assert_eq!(dispatched, 0);
+                    prop_assert_eq!(before, after, "idle ticks must be strict no-ops");
+                }
+                ProgressState::WindowBlocked => {
+                    prop_assert_eq!(dispatched, 0);
+                    prop_assert_eq!(after.instructions, before.instructions);
+                    prop_assert_eq!(after.active_cycles, before.active_cycles + 1);
+                    prop_assert_eq!(after.window_stall_cycles, before.window_stall_cycles + 1);
+                    prop_assert_eq!(after.reject_stall_cycles, before.reject_stall_cycles);
+                }
+                ProgressState::RetryLoad(_) => {
+                    // The port may accept this time; only when it keeps
+                    // refusing is the core truly blocked, and then the
+                    // delta is one active + one reject-stall cycle.
+                    if dispatched == 0 && after.loads == before.loads {
+                        prop_assert_eq!(after.active_cycles, before.active_cycles + 1);
+                        prop_assert_eq!(
+                            after.reject_stall_cycles, before.reject_stall_cycles + 1
+                        );
+                        prop_assert_eq!(after.window_stall_cycles, before.window_stall_cycles);
+                    }
+                }
+                ProgressState::Ready => {}
+            }
+            if core.drained() {
+                break;
+            }
+            guard += 1;
+            prop_assert!(guard < 2_000_000, "model failed to drain");
+        }
+    }
+
     /// The outstanding-load count never exceeds the configured queue.
     #[test]
     fn load_queue_respected(

@@ -168,12 +168,64 @@ impl DecayBank {
     ///
     /// Multiple pending ticks (if the caller advanced time coarsely) are
     /// processed in order; per-tick semantics are identical to hardware
-    /// scanning all counters on the tick edge.
+    /// scanning all counters on the tick edge. This is the sequential
+    /// reference that [`DecayBank::advance_to`] must match exactly.
     pub fn advance(&mut self, now: u64, decayed: &mut Vec<usize>) {
         while self.next_tick <= now {
             self.tick(decayed);
             self.next_tick += self.cfg.tick_period();
         }
+    }
+
+    /// Advance to `now` in closed form: all `k` due ticks are applied in
+    /// one pass over the counters instead of `k` sequential scans.
+    ///
+    /// Per slot, `k` ticks increment a live, armed counter `c` by
+    /// `min(k, sat − c)` — increments stop at saturation — and the slot
+    /// decays on tick number `sat − c`, at which point it stops being
+    /// live. `DecayStats` accounting (`ticks`, `increments`, `decays`)
+    /// and the decayed-slot emission order — `(tick, slot)`
+    /// lexicographic, because each sequential tick scans slots in index
+    /// order — are identical to [`DecayBank::advance`]; the equivalence
+    /// is property-tested in `tests/properties.rs`.
+    pub fn advance_to(&mut self, now: u64, decayed: &mut Vec<usize>) {
+        if self.next_tick > now {
+            return;
+        }
+        let period = self.cfg.tick_period();
+        let k = (now - self.next_tick) / period + 1;
+        self.next_tick += k * period;
+        if k == 1 {
+            // Common case (the caller advances every cycle or wakes at
+            // each tick): one ordinary tick, no sort needed.
+            self.tick(decayed);
+            return;
+        }
+        self.stats.ticks += k;
+        let sat = self.cfg.saturation();
+        let mut newly: Vec<(u64, usize)> = Vec::new();
+        for slot in 0..self.counters.len() {
+            if !self.live[slot] || !self.armed[slot] {
+                continue;
+            }
+            let c = self.counters[slot];
+            if c >= sat {
+                continue;
+            }
+            let room = u64::from(sat - c);
+            let applied = room.min(k);
+            self.counters[slot] = c + applied as u8;
+            self.stats.increments += applied;
+            if applied == room {
+                self.live[slot] = false;
+                self.stats.decays += 1;
+                newly.push((room, slot));
+            }
+        }
+        // Stable sort by decay tick: slots pushed in index order, so ties
+        // keep index order — the per-tick scan's emission order.
+        newly.sort_by_key(|&(tick_no, _)| tick_no);
+        decayed.extend(newly.into_iter().map(|(_, slot)| slot));
     }
 
     /// Perform one global tick: increment every live, armed counter;
@@ -295,6 +347,46 @@ mod tests {
         assert_eq!(b.stats().increments, 4);
         b.on_access(0); // nonzero counter -> reset counted
         assert_eq!(b.stats().resets, 1);
+    }
+
+    #[test]
+    fn advance_to_matches_sequential_ticks_including_order() {
+        let cfg = DecayConfig::fixed(4000); // tick every 1000
+        let mut seq = DecayBank::new(8, cfg);
+        let mut bulk = DecayBank::new(8, cfg);
+        // Stagger accesses so slots saturate on different ticks, and
+        // disarm one slot to exercise the armed gate.
+        for (slot, t) in [(3usize, 0u64), (1, 0), (6, 1000), (0, 2000)] {
+            let mut v = Vec::new();
+            seq.advance(t, &mut v);
+            let mut w = Vec::new();
+            bulk.advance_to(t, &mut w);
+            assert_eq!(v, w);
+            seq.on_access(slot);
+            bulk.on_access(slot);
+        }
+        seq.disarm(1);
+        bulk.disarm(1);
+        let mut v = Vec::new();
+        seq.advance(20_000, &mut v);
+        let mut w = Vec::new();
+        bulk.advance_to(20_000, &mut w);
+        assert_eq!(v, w, "bulk advance must emit the same slots in the same order");
+        assert_eq!(seq.stats(), bulk.stats());
+        assert_eq!(seq.next_tick_at(), bulk.next_tick_at());
+        assert_eq!(v, vec![3, 6, 0], "earlier-accessed slots decay on earlier ticks");
+    }
+
+    #[test]
+    fn advance_to_same_tick_ties_emit_in_slot_order() {
+        let cfg = DecayConfig::fixed(4000);
+        let mut b = DecayBank::new(5, cfg);
+        for slot in [4usize, 2, 0] {
+            b.on_access(slot);
+        }
+        let mut v = Vec::new();
+        b.advance_to(50_000, &mut v);
+        assert_eq!(v, vec![0, 2, 4], "ties broken by slot index, like the per-tick scan");
     }
 
     #[test]

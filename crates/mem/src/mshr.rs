@@ -94,6 +94,17 @@ impl<T> Mshr<T> {
         self.entries.iter_mut().find(|e| e.line == line)
     }
 
+    /// Whether [`Mshr::allocate`] for `line` would succeed (primary or
+    /// secondary) — the non-mutating mirror of its `Full` conditions, so
+    /// callers can prove a refused request will keep being refused until
+    /// an entry completes.
+    pub fn would_accept(&self, line: LineAddr) -> bool {
+        match self.get(line) {
+            Some(e) => e.targets.len() < self.max_targets,
+            None => !self.is_full(),
+        }
+    }
+
     /// Record a miss for `line` carrying `target`. Merges into an existing
     /// entry when possible; `exclusive` requests ownership (store miss).
     pub fn allocate(&mut self, line: LineAddr, target: T, exclusive: bool) -> MshrAlloc {

@@ -131,6 +131,44 @@ proptest! {
         prop_assert_eq!(fired, vec![0usize], "line must decay after going idle");
     }
 
+    /// Decay bank: the closed-form bulk advance (`advance_to`) is
+    /// indistinguishable from sequential per-tick advancing — same
+    /// decayed slots in the same emission order, same counter values,
+    /// same `DecayStats` — under arbitrary interleavings of accesses,
+    /// arm/disarm flips, line turn-offs and coarse time jumps.
+    #[test]
+    fn decay_bulk_advance_equals_sequential_ticks(
+        ops in proptest::collection::vec((0u64..8, 0u64..5000u64, 0u8..4), 1..80),
+        decay_exp in 9u32..14,
+        bits in 1u32..4,
+    ) {
+        let cfg = DecayConfig { decay_cycles: 1 << decay_exp, counter_bits: bits };
+        let mut seq = DecayBank::new(8, cfg);
+        let mut bulk = DecayBank::new(8, cfg);
+        let mut now = 0u64;
+        for (slot, dt, op) in ops {
+            now += dt;
+            let slot = slot as usize;
+            // Sequential reference ticks one by one; bulk jumps straight
+            // to `now` in closed form. Fired slots must match exactly.
+            let mut a = Vec::new();
+            seq.advance(now, &mut a);
+            let mut b = Vec::new();
+            bulk.advance_to(now, &mut b);
+            prop_assert_eq!(&a, &b, "divergent decay emission at t={}", now);
+            prop_assert_eq!(seq.stats(), bulk.stats());
+            prop_assert_eq!(seq.next_tick_at(), bulk.next_tick_at());
+            match op {
+                0 => { seq.on_access(slot); bulk.on_access(slot); }
+                1 => { seq.arm(slot); bulk.arm(slot); }
+                2 => { seq.disarm(slot); bulk.disarm(slot); }
+                _ => { seq.on_line_off(slot); bulk.on_line_off(slot); }
+            }
+            prop_assert_eq!(seq.is_live(slot), bulk.is_live(slot));
+            prop_assert_eq!(seq.is_armed(slot), bulk.is_armed(slot));
+        }
+    }
+
     /// MSHR: merged targets always come back complete and in insertion
     /// order; capacity is respected.
     #[test]

@@ -88,6 +88,26 @@ impl SharedBus {
         self.queue.len()
     }
 
+    /// Whether the request queue is empty (the structural half of
+    /// [`SharedBus::idle`]; the busy horizons are the time-dependent
+    /// half, see [`SharedBus::quiesce_at`]).
+    pub fn queue_is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Cycle until which the bus is occupied by the granted transaction;
+    /// while `now < busy_until()` no grant can happen.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// First cycle at which both the bus and the memory channel will
+    /// have drained their current occupancy. With an empty queue the bus
+    /// is [`idle`](SharedBus::idle) from this cycle on.
+    pub fn quiesce_at(&self) -> u64 {
+        self.busy_until.max(self.mem_busy_until)
+    }
+
     /// Whether the bus and memory channel are fully drained.
     pub fn idle(&self, now: u64) -> bool {
         self.queue.is_empty() && now >= self.busy_until && now >= self.mem_busy_until

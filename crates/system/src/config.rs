@@ -124,6 +124,24 @@ impl Default for MemConfig {
     }
 }
 
+/// Which cycle kernel drives the simulation.
+///
+/// Both kernels produce **bit-identical** [`SimStats`](crate::SimStats)
+/// — enforced by `tests/kernel_differential.rs` and by the golden sweep
+/// snapshot, which was blessed under the per-cycle kernel and must pass
+/// under the default without re-blessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimKernel {
+    /// Quiescence-skipping kernel: when no component can make progress,
+    /// time jumps directly to the next wakeup (event, bus grant, decay
+    /// tick, sample boundary) instead of stepping cycle by cycle.
+    #[default]
+    QuiescenceSkip,
+    /// The classic one-`step_cycle`-per-cycle loop, kept as the
+    /// differential reference.
+    PerCycle,
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CmpConfig {
@@ -152,6 +170,9 @@ pub struct CmpConfig {
     /// classifies technique-induced misses (small simulation overhead;
     /// measurement-only).
     pub shadow_tags: bool,
+    /// Cycle kernel (default: quiescence-skipping; both are
+    /// bit-identical, see [`SimKernel`]).
+    pub kernel: SimKernel,
 }
 
 impl Default for CmpConfig {
@@ -168,6 +189,7 @@ impl Default for CmpConfig {
             max_cycles: 500_000_000,
             sample_interval: 10_000,
             shadow_tags: true,
+            kernel: SimKernel::default(),
         }
     }
 }

@@ -324,13 +324,28 @@ impl L2Cache {
 
     /// Advance the decay clock to `now`, returning slots whose lines
     /// decayed this call. The system feeds them to [`L2Cache::turn_off`]
-    /// with the pending-write context.
+    /// with the pending-write context. Coarse advances apply all due
+    /// ticks in closed form ([`DecayBank::advance_to`]) with per-tick
+    /// semantics.
     pub fn take_decayed(&mut self, now: u64) -> Vec<usize> {
         self.decay_scratch.clear();
         if let Some(d) = self.decay.as_mut() {
-            d.advance(now, &mut self.decay_scratch);
+            d.advance_to(now, &mut self.decay_scratch);
         }
         std::mem::take(&mut self.decay_scratch)
+    }
+
+    /// Cycle of the next global decay tick, if this cache decays at all.
+    /// A wakeup source for the quiescence-skipping kernel: between ticks
+    /// an otherwise-idle cache has no decay activity to simulate.
+    pub fn next_decay_deadline(&self) -> Option<u64> {
+        self.decay.as_ref().map(|d| d.next_tick_at())
+    }
+
+    /// Whether deferred turn-offs are waiting to be retried (they retry
+    /// every cycle, so the kernel must not skip while any are pending).
+    pub fn has_deferred_turnoffs(&self) -> bool {
+        !self.deferred_turnoffs.is_empty()
     }
 
     /// Deferred turn-offs to retry (drains the internal list).

@@ -27,6 +27,6 @@ pub mod l2;
 pub mod stats;
 pub mod system;
 
-pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig};
+pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig, SimKernel};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
-pub use system::{run_simulation, CmpSystem};
+pub use system::{run_simulation, run_simulation_with_scratch, CmpSystem, SimScratch};

@@ -1,4 +1,4 @@
-//! The CMP system orchestrator: the cycle loop tying cores, L1s, write
+//! The CMP system orchestrator: the cycle kernel tying cores, L1s, write
 //! buffers, L2s, the snoopy bus and memory together.
 //!
 //! # Cycle structure
@@ -14,18 +14,41 @@
 //! 5. sample the activity trace.
 //!
 //! Everything is deterministic: FIFO bus arbitration, fixed core order,
-//! a sequence-numbered event queue.
+//! a FIFO-per-cycle event queue.
+//!
+//! # Kernels
+//!
+//! Two kernels drive the loop ([`SimKernel`]), producing **bit-identical**
+//! statistics:
+//!
+//! * **per-cycle** — one [`step_cycle`](CmpSystem) per simulated cycle,
+//!   the reference;
+//! * **quiescence-skipping** (default) — before stepping, the kernel
+//!   checks whether any component can make progress *this* cycle. A cycle
+//!   is *quiet* when no event is due, the bus cannot grant, all L2 port
+//!   queues (read queues, write buffers, retry queues) are empty, no
+//!   decay tick or deferred turn-off is due, and every core is blocked
+//!   (drained, window-full behind an incomplete load, or spinning on a
+//!   load the L1 provably keeps refusing). Quiet cycles change nothing
+//!   except time, the powered-lines integral and per-core stall
+//!   counters — all linear in the span — so the kernel advances `now`
+//!   directly to the next wakeup: the earliest of (next event, bus
+//!   grant/drain horizon, decay tick, sampling-interval boundary). The
+//!   skipped span provably contains no activity, the leakage integral is
+//!   advanced by `powered × span`, and blocked cores are bulk-charged
+//!   their stall cycles — hence bit-identity, enforced by
+//!   `tests/kernel_differential.rs` and the golden sweep snapshot.
 
 use crate::bus::{BusReq, BusReqKind, SharedBus};
-use crate::config::CmpConfig;
+use crate::config::{CmpConfig, SimKernel};
 use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
 use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
 use crate::stats::{IntervalActivity, SimStats};
 use cmpleak_coherence::bus::SnoopKind;
-use cmpleak_cpu::{CoreModel, CorePort, Workload};
+use cmpleak_cpu::{CoreModel, CorePort, ProgressState, StallKind, Workload};
 use cmpleak_mem::{Geometry, LineAddr, WriteBuffer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EvKind {
@@ -39,31 +62,221 @@ enum EvKind {
     Grant { core: usize, slot: usize, line: LineAddr },
 }
 
+/// Buckets in the delayed queue's ring: events within this horizon of
+/// the cursor sit in per-cycle buckets; farther ones wait in an overflow
+/// heap and migrate as the window slides.
+const EVENT_BUCKETS: usize = 1024;
+
+/// Bucketed delayed event queue (calendar-queue style).
+///
+/// The ring covers the window `[cursor, cursor + EVENT_BUCKETS)`; within
+/// it, every pending event's cycle maps to a *unique* bucket, so a
+/// bucket holds the events of exactly one cycle in push (FIFO) order and
+/// an occupancy bitmap finds the earliest pending cycle in a few word
+/// scans — O(1) push/pop against the reference `BinaryHeap`'s O(log n),
+/// with no per-event ordering key. Events beyond the window go to a
+/// sequence-numbered overflow heap and migrate into buckets when the
+/// cursor advances, *before* any same-cycle direct push can happen, so
+/// FIFO order per cycle is preserved end to end. Pop order is therefore
+/// identical to the heap's `(cycle, push-sequence)` order.
 #[derive(Debug)]
 struct EventQueue {
-    heap: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    buckets: Vec<VecDeque<(u64, EvKind)>>,
+    /// One bit per bucket: non-empty.
+    occ: [u64; EVENT_BUCKETS / 64],
+    /// Events at `cycle >= cursor + EVENT_BUCKETS`, ordered by
+    /// `(cycle, seq)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
+    /// Window base; no pending event is earlier. Advances monotonically.
+    cursor: u64,
     seq: u64,
+    in_buckets: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
-    }
-
-    fn push(&mut self, at: u64, kind: EvKind) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, kind)));
-    }
-
-    fn pop_due(&mut self, now: u64) -> Option<EvKind> {
-        match self.heap.peek() {
-            Some(Reverse((at, _, _))) if *at <= now => self.heap.pop().map(|Reverse((_, _, k))| k),
-            _ => None,
+        Self {
+            buckets: vec![VecDeque::new(); EVENT_BUCKETS],
+            occ: [0; EVENT_BUCKETS / 64],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            seq: 0,
+            in_buckets: 0,
         }
     }
 
+    /// Empty the queue for reuse, keeping the ring's allocations.
+    fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occ = [0; EVENT_BUCKETS / 64];
+        self.overflow.clear();
+        self.cursor = 0;
+        self.seq = 0;
+        self.in_buckets = 0;
+    }
+
+    #[inline]
+    fn bucket_index(at: u64) -> usize {
+        (at % EVENT_BUCKETS as u64) as usize
+    }
+
+    fn push(&mut self, at: u64, kind: EvKind) {
+        debug_assert!(at >= self.cursor, "events are never scheduled in the past");
+        self.seq += 1;
+        if at < self.cursor + EVENT_BUCKETS as u64 {
+            let idx = Self::bucket_index(at);
+            debug_assert!(self.buckets[idx].back().is_none_or(|&(t, _)| t == at));
+            self.buckets[idx].push_back((at, kind));
+            self.occ[idx / 64] |= 1 << (idx % 64);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse((at, self.seq, kind)));
+        }
+    }
+
+    /// Move the window base forward and pull newly covered overflow
+    /// events into their buckets (in `(cycle, seq)` order).
+    fn advance_cursor(&mut self, to: u64) {
+        if to <= self.cursor {
+            return;
+        }
+        self.cursor = to;
+        while let Some(&Reverse((at, _, _))) = self.overflow.peek() {
+            if at >= self.cursor + EVENT_BUCKETS as u64 {
+                break;
+            }
+            let Reverse((at, _, kind)) = self.overflow.pop().expect("peeked");
+            let idx = Self::bucket_index(at);
+            self.buckets[idx].push_back((at, kind));
+            self.occ[idx / 64] |= 1 << (idx % 64);
+            self.in_buckets += 1;
+        }
+    }
+
+    /// Earliest cycle with a pending bucketed event: circular bitmap
+    /// scan starting at the cursor's bucket (bucket→cycle is unique
+    /// within the window, so the first set bit is the minimum).
+    fn next_bucket_at(&self) -> Option<u64> {
+        if self.in_buckets == 0 {
+            return None;
+        }
+        const WORDS: usize = EVENT_BUCKETS / 64;
+        let start = Self::bucket_index(self.cursor);
+        let (sw, sb) = (start / 64, start % 64);
+        for i in 0..=WORDS {
+            let w = (sw + i) % WORDS;
+            let mut bits = self.occ[w];
+            if i == 0 {
+                bits &= !0u64 << sb;
+            } else if i == WORDS {
+                bits &= !(!0u64 << sb);
+            }
+            if bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                return Some(self.buckets[idx].front().expect("occupied bucket").0);
+            }
+        }
+        unreachable!("in_buckets > 0 but no occupied bucket")
+    }
+
+    /// Earliest pending event cycle (the skip kernel's event wakeup).
+    fn next_at(&self) -> Option<u64> {
+        let bucket = self.next_bucket_at();
+        let over = self.overflow.peek().map(|&Reverse((at, _, _))| at);
+        match (bucket, over) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<EvKind> {
+        // After a long skip the earliest pending event may still sit in
+        // the overflow heap (the window never slid over it): pull it in
+        // first. Overflow times are always ≥ cursor + window > every
+        // bucket time, so this can only matter when the ring is empty.
+        if self.in_buckets == 0 {
+            if let Some(&Reverse((at, _, _))) = self.overflow.peek() {
+                if at <= now {
+                    self.advance_cursor(at);
+                }
+            }
+        }
+        if let Some(t) = self.next_bucket_at() {
+            if t <= now {
+                let idx = Self::bucket_index(t);
+                let (at, kind) = self.buckets[idx].pop_front().expect("occupied bucket");
+                debug_assert_eq!(at, t);
+                if self.buckets[idx].is_empty() {
+                    self.occ[idx / 64] &= !(1 << (idx % 64));
+                }
+                self.in_buckets -= 1;
+                self.advance_cursor(t);
+                return Some(kind);
+            }
+        }
+        // Nothing due: slide the window up to `now` (everything pending
+        // is later, so the cursor invariant holds) to keep direct pushes
+        // in the fast bucket path.
+        self.advance_cursor(now);
+        None
+    }
+
     fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.in_buckets == 0 && self.overflow.is_empty()
+    }
+}
+
+/// The write-retry queue of one core: FIFO order plus an exact multiset
+/// index so the decay machinery's membership test
+/// ([`CmpSystem::try_turn_off`]'s pending-write check) is O(1) instead
+/// of a linear scan that degrades on deep retry queues.
+#[derive(Debug, Default)]
+struct RetryQueue {
+    queue: VecDeque<LineAddr>,
+    members: HashMap<LineAddr, u32>,
+}
+
+impl RetryQueue {
+    fn push_back(&mut self, line: LineAddr) {
+        *self.members.entry(line).or_insert(0) += 1;
+        self.queue.push_back(line);
+    }
+
+    fn front(&self) -> Option<LineAddr> {
+        self.queue.front().copied()
+    }
+
+    fn pop_front(&mut self) -> Option<LineAddr> {
+        let line = self.queue.pop_front()?;
+        match self.members.get_mut(&line) {
+            Some(1) => {
+                self.members.remove(&line);
+            }
+            Some(n) => *n -= 1,
+            None => unreachable!("membership index tracks the queue exactly"),
+        }
+        Some(line)
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.members.contains_key(&line)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+        self.members.clear();
     }
 }
 
@@ -133,6 +346,20 @@ struct Snapshot {
     decay_events: u64,
 }
 
+/// Reusable allocation pools for repeated simulations (e.g. one per
+/// sweep worker): the event queue's bucket ring, the side-effect buffers
+/// and the per-core queues survive across runs instead of being
+/// reallocated for every grid cell. Pass to
+/// [`run_simulation_with_scratch`]; a default-constructed scratch is
+/// simply empty pools.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    events: EventQueue,
+    fx: SideEffects,
+    read_queues: Vec<VecDeque<LineAddr>>,
+    write_retries: Vec<RetryQueue>,
+}
+
 /// The simulated CMP.
 pub struct CmpSystem {
     cfg: CmpConfig,
@@ -145,7 +372,7 @@ pub struct CmpSystem {
     bus: SharedBus,
     events: EventQueue,
     read_queues: Vec<VecDeque<LineAddr>>,
-    write_retries: Vec<VecDeque<LineAddr>>,
+    write_retries: Vec<RetryQueue>,
     fx: SideEffects,
     // accounting
     loads_completed: u64,
@@ -156,6 +383,13 @@ pub struct CmpSystem {
     last_snap: Snapshot,
     interval_powered: u64,
     interval_start: u64,
+    /// Dirty bit over the *structural* half of [`CmpSystem::done`]
+    /// (queues, cores, events — everything but the time-dependent bus
+    /// horizons): recomputed only after a cycle that did work, so the
+    /// per-cycle drain check stops rescanning every component on every
+    /// quiet cycle.
+    struct_dirty: bool,
+    struct_quiet: bool,
 }
 
 impl std::fmt::Debug for CmpSystem {
@@ -176,6 +410,21 @@ impl CmpSystem {
     /// Panics unless exactly `cfg.n_cores` workloads are supplied, or if
     /// the configuration is invalid.
     pub fn new(cfg: CmpConfig, workloads: Vec<Box<dyn Workload>>) -> Self {
+        Self::new_with_scratch(cfg, workloads, &mut SimScratch::default())
+    }
+
+    /// Like [`CmpSystem::new`], but adopts the reusable pools of
+    /// `scratch` (emptied, allocations kept). Pair with
+    /// [`run_simulation_with_scratch`], which returns them when the run
+    /// finishes.
+    ///
+    /// # Panics
+    /// As [`CmpSystem::new`].
+    pub fn new_with_scratch(
+        cfg: CmpConfig,
+        workloads: Vec<Box<dyn Workload>>,
+        scratch: &mut SimScratch,
+    ) -> Self {
         cfg.validate();
         assert_eq!(workloads.len(), cfg.n_cores, "one workload per core");
         let cores =
@@ -186,6 +435,16 @@ impl CmpSystem {
             .map(|_| L2Cache::new(&cfg.l2, cfg.technique, cfg.shadow_tags))
             .collect();
         let bus = SharedBus::new(cfg.bus, cfg.mem, cfg.l2.line_bytes);
+        let mut events = std::mem::take(&mut scratch.events);
+        events.reset();
+        let mut fx = std::mem::take(&mut scratch.fx);
+        fx.clear();
+        let mut read_queues = std::mem::take(&mut scratch.read_queues);
+        read_queues.iter_mut().for_each(VecDeque::clear);
+        read_queues.resize_with(cfg.n_cores, VecDeque::new);
+        let mut write_retries = std::mem::take(&mut scratch.write_retries);
+        write_retries.iter_mut().for_each(RetryQueue::clear);
+        write_retries.resize_with(cfg.n_cores, RetryQueue::default);
         Self {
             now: 0,
             cores,
@@ -194,10 +453,10 @@ impl CmpSystem {
             wbs,
             l2s,
             bus,
-            events: EventQueue::new(),
-            read_queues: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
-            write_retries: (0..cfg.n_cores).map(|_| VecDeque::new()).collect(),
-            fx: SideEffects::default(),
+            events,
+            read_queues,
+            write_retries,
+            fx,
             loads_completed: 0,
             load_latency_sum: 0,
             c2c_transfers: 0,
@@ -206,6 +465,8 @@ impl CmpSystem {
             last_snap: Snapshot::default(),
             interval_powered: 0,
             interval_start: 0,
+            struct_dirty: true,
+            struct_quiet: false,
             cfg,
         }
     }
@@ -223,34 +484,164 @@ impl CmpSystem {
     /// Run to completion (all cores drained, all queues empty) or to the
     /// configured cycle cap, and return the statistics.
     pub fn run(mut self) -> SimStats {
-        while !self.done() && self.now < self.cfg.max_cycles {
-            self.step_cycle();
-        }
+        self.run_loop();
         self.finalize()
     }
 
-    fn done(&self) -> bool {
-        self.cores.iter().all(|c| c.drained())
-            && self.wbs.iter().all(|w| w.is_empty())
-            && self.write_retries.iter().all(|q| q.is_empty())
-            && self.read_queues.iter().all(|q| q.is_empty())
-            && self.l1s.iter().all(|l| l.outstanding_misses() == 0)
-            && self.l2s.iter().all(|l| !l.busy())
-            && self.bus.idle(self.now)
-            && self.events.is_empty()
+    fn run_loop(&mut self) {
+        match self.cfg.kernel {
+            SimKernel::PerCycle => {
+                while !self.done() && self.now < self.cfg.max_cycles {
+                    self.step_cycle();
+                }
+            }
+            SimKernel::QuiescenceSkip => {
+                // Only probe for quiescence after a cycle that did no
+                // work: active phases pay zero check overhead, quiet
+                // spans pay one plain step at their first cycle (which
+                // is exact anyway — stepping is always allowed).
+                let mut try_skip = false;
+                loop {
+                    if self.done() || self.now >= self.cfg.max_cycles {
+                        break;
+                    }
+                    if try_skip {
+                        if let Some(target) = self.quiescent_wakeup() {
+                            self.advance_quiet(target);
+                            // The span may have reached the drain
+                            // horizon or the cycle cap: recheck before
+                            // stepping the wake cycle.
+                            continue;
+                        }
+                    }
+                    try_skip = !self.step_cycle();
+                }
+            }
+        }
     }
 
-    fn step_cycle(&mut self) {
+    /// Drain check. The structural half (queues, cores, events) only
+    /// changes on cycles that did work, so it is cached behind
+    /// `struct_dirty`; the bus/memory busy horizons are pure time
+    /// comparisons and are evaluated fresh.
+    fn done(&mut self) -> bool {
+        if self.struct_dirty {
+            self.struct_quiet = self.cores.iter().all(|c| c.drained())
+                && self.wbs.iter().all(|w| w.is_empty())
+                && self.write_retries.iter().all(|q| q.is_empty())
+                && self.read_queues.iter().all(|q| q.is_empty())
+                && self.l1s.iter().all(|l| l.outstanding_misses() == 0)
+                && self.l2s.iter().all(|l| !l.busy())
+                && self.bus.queue_is_empty()
+                && self.events.is_empty();
+            self.struct_dirty = false;
+        }
+        self.struct_quiet && self.bus.idle(self.now)
+    }
+
+    fn step_cycle(&mut self) -> bool {
+        let mut work = false;
         while let Some(ev) = self.events.pop_due(self.now) {
             self.handle_event(ev);
+            work = true;
         }
-        self.bus_grant();
+        work |= self.bus_grant();
         for core in 0..self.cfg.n_cores {
-            self.l2_cycle(core);
+            work |= self.l2_cycle(core);
         }
-        self.tick_cores();
+        work |= self.tick_cores();
         self.sample_cycle();
         self.now += 1;
+        self.struct_dirty |= work;
+        work
+    }
+
+    // ---- quiescence skipping ----------------------------------------------
+
+    /// If nothing can make progress at the current cycle, return the
+    /// next cycle at which something can (always `> now`); `None` means
+    /// the cycle must be stepped normally.
+    ///
+    /// Wakeup sources: the earliest pending event, the bus's next
+    /// possible grant (queue non-empty) or drain horizon (for the
+    /// termination check), each cache's next decay tick, and the cycle
+    /// whose sample closes the current interval. Skipping never passes
+    /// any of them, so a skipped span provably contains no activity.
+    fn quiescent_wakeup(&self) -> Option<u64> {
+        // Anything due *this* cycle forces a step.
+        if self.events.next_at().is_some_and(|t| t <= self.now) {
+            return None;
+        }
+        if !self.bus.queue_is_empty() && self.bus.busy_until() <= self.now {
+            return None;
+        }
+        for core in 0..self.cfg.n_cores {
+            if !self.read_queues[core].is_empty()
+                || !self.wbs[core].is_empty()
+                || !self.write_retries[core].is_empty()
+                || self.l2s[core].has_deferred_turnoffs()
+            {
+                return None;
+            }
+            if self.l2s[core].next_decay_deadline().is_some_and(|t| t <= self.now) {
+                return None;
+            }
+            match self.cores[core].progress_state() {
+                ProgressState::Idle | ProgressState::WindowBlocked => {}
+                ProgressState::RetryLoad(addr) => {
+                    // Blocked only if the L1 provably keeps refusing the
+                    // retried load (its state is frozen until an event).
+                    let line = self.cfg.l1.geometry().line_of(addr);
+                    if !self.l1s[core].load_would_refuse(line) {
+                        return None;
+                    }
+                }
+                ProgressState::Ready => return None,
+            }
+        }
+        let mut wake = u64::MAX;
+        if let Some(t) = self.events.next_at() {
+            wake = wake.min(t);
+        }
+        if !self.bus.queue_is_empty() {
+            wake = wake.min(self.bus.busy_until());
+        }
+        let drain = self.bus.quiesce_at();
+        if drain > self.now {
+            // Not an activity source, but `done()` can flip here once
+            // the channels run dry.
+            wake = wake.min(drain);
+        }
+        for l2 in &self.l2s {
+            if let Some(t) = l2.next_decay_deadline() {
+                wake = wake.min(t);
+            }
+        }
+        // The interval's last cycle must be stepped: its sample closes
+        // the books at the boundary.
+        wake = wake.min(self.interval_start + self.cfg.sample_interval - 1);
+        wake = wake.min(self.cfg.max_cycles);
+        (wake > self.now).then_some(wake)
+    }
+
+    /// Advance time in bulk over a span vetted by
+    /// [`CmpSystem::quiescent_wakeup`]: charge the powered-lines leakage
+    /// integral as value × elapsed span (every component's powered count
+    /// is frozen) and bulk-charge each blocked core the stall statistics
+    /// its per-cycle ticks would have accrued.
+    fn advance_quiet(&mut self, target: u64) {
+        let span = target - self.now;
+        let powered: u64 = self.l2s.iter().map(|l| l.powered_lines()).sum();
+        self.interval_powered += powered * span;
+        for core in &mut self.cores {
+            match core.progress_state() {
+                ProgressState::Idle => {}
+                ProgressState::WindowBlocked => core.charge_stall_cycles(StallKind::Window, span),
+                ProgressState::RetryLoad(_) => core.charge_stall_cycles(StallKind::Reject, span),
+                ProgressState::Ready => unreachable!("quiescence check vetted all cores"),
+            }
+        }
+        self.now = target;
     }
 
     // ---- events -----------------------------------------------------------
@@ -310,9 +701,9 @@ impl CmpSystem {
 
     // ---- bus --------------------------------------------------------------
 
-    fn bus_grant(&mut self) {
+    fn bus_grant(&mut self) -> bool {
         let Some(req) = self.bus.try_grant(self.now) else {
-            return;
+            return false;
         };
         // Split-transaction conflict rule: a transaction touching a line
         // whose data is in flight to another cache is NACKed and
@@ -324,7 +715,7 @@ impl CmpSystem {
                 .any(|j| j != req.origin && self.l2s[j].pending_issued(req.line));
             if conflict {
                 self.bus.push(req);
-                return;
+                return true;
             }
         }
         match req.kind {
@@ -346,6 +737,7 @@ impl CmpSystem {
                 self.start_fill(req.origin, req.line, exclusive);
             }
         }
+        true
     }
 
     fn start_fill(&mut self, origin: usize, line: LineAddr, exclusive: bool) {
@@ -400,13 +792,15 @@ impl CmpSystem {
 
     // ---- per-core L2 cycle --------------------------------------------------
 
-    fn l2_cycle(&mut self, core: usize) {
+    fn l2_cycle(&mut self, core: usize) -> bool {
         // Decay clock and turn-off processing.
         let decayed = self.l2s[core].take_decayed(self.now);
+        let mut work = !decayed.is_empty();
         for slot in decayed {
             self.try_turn_off(core, slot);
         }
         let deferred = self.l2s[core].take_deferred_turnoffs();
+        work |= !deferred.is_empty();
         for slot in deferred {
             self.try_turn_off(core, slot);
         }
@@ -417,6 +811,7 @@ impl CmpSystem {
             let Some(&line) = self.read_queues[core].front() else {
                 break;
             };
+            work = true;
             match self.l2s[core].probe_read(line) {
                 L2ReadOutcome::Hit => {
                     self.read_queues[core].pop_front();
@@ -435,13 +830,14 @@ impl CmpSystem {
             ops += 1;
         }
         while ops < self.cfg.l2.ports {
-            let (line, from_retry) = if let Some(&line) = self.write_retries[core].front() {
+            let (line, from_retry) = if let Some(line) = self.write_retries[core].front() {
                 (line, true)
             } else if let Some(line) = self.wbs[core].head() {
                 (line, false)
             } else {
                 break;
             };
+            work = true;
             let outcome = self.issue_write_probe_inner(core, line);
             match outcome {
                 L2WriteOutcome::Retry => break,
@@ -455,13 +851,14 @@ impl CmpSystem {
             }
             ops += 1;
         }
+        work
     }
 
     fn try_turn_off(&mut self, core: usize, slot: usize) {
         let Some(line) = self.l2s[core].line_at(slot) else {
             return;
         };
-        let pending = self.wbs[core].has_pending(line) || self.write_retries[core].contains(&line);
+        let pending = self.wbs[core].has_pending(line) || self.write_retries[core].contains(line);
         let mut fx = std::mem::take(&mut self.fx);
         fx.clear();
         self.l2s[core].turn_off(slot, self.now, pending, &mut fx);
@@ -494,7 +891,8 @@ impl CmpSystem {
 
     // ---- cores ------------------------------------------------------------
 
-    fn tick_cores(&mut self) {
+    fn tick_cores(&mut self) -> bool {
+        let mut any = false;
         for core in 0..self.cfg.n_cores {
             let mut port = PortAdapter {
                 now: self.now,
@@ -506,8 +904,9 @@ impl CmpSystem {
                 read_queue: &mut self.read_queues[core],
                 events: &mut self.events,
             };
-            self.cores[core].tick(self.workloads[core].as_mut(), &mut port);
+            any |= self.cores[core].tick(self.workloads[core].as_mut(), &mut port) > 0;
         }
+        any
     }
 
     // ---- sampling -----------------------------------------------------------
@@ -598,9 +997,35 @@ impl CmpSystem {
     }
 }
 
+impl CmpSystem {
+    /// Hand the reusable pools back to `scratch` (the simulation must be
+    /// finished with them, i.e. this is called right before finalizing).
+    fn reclaim_scratch(&mut self, scratch: &mut SimScratch) {
+        scratch.events = std::mem::take(&mut self.events);
+        scratch.fx = std::mem::take(&mut self.fx);
+        scratch.read_queues = std::mem::take(&mut self.read_queues);
+        scratch.write_retries = std::mem::take(&mut self.write_retries);
+    }
+}
+
 /// Convenience: build and run a system in one call.
 pub fn run_simulation(cfg: CmpConfig, workloads: Vec<Box<dyn Workload>>) -> SimStats {
     CmpSystem::new(cfg, workloads).run()
+}
+
+/// Like [`run_simulation`], but borrowing the reusable allocation pools
+/// of `scratch` and returning them when the run finishes — callers that
+/// run many simulations back to back (sweep workers, benchmarks) keep
+/// the event ring and queue capacities warm across runs.
+pub fn run_simulation_with_scratch(
+    cfg: CmpConfig,
+    workloads: Vec<Box<dyn Workload>>,
+    scratch: &mut SimScratch,
+) -> SimStats {
+    let mut sys = CmpSystem::new_with_scratch(cfg, workloads, scratch);
+    sys.run_loop();
+    sys.reclaim_scratch(scratch);
+    sys.finalize()
 }
 
 #[cfg(test)]
@@ -763,6 +1188,126 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem_bytes, b.mem_bytes);
         assert_eq!(a.l2_on_line_cycles, b.l2_on_line_cycles);
+    }
+
+    fn run_both_kernels(mut cfg: CmpConfig, wl: impl Fn() -> Vec<Box<dyn Workload>>) -> SimStats {
+        cfg.kernel = crate::config::SimKernel::PerCycle;
+        let reference = run_simulation(cfg, wl());
+        cfg.kernel = crate::config::SimKernel::QuiescenceSkip;
+        let skipping = run_simulation(cfg, wl());
+        assert_eq!(reference, skipping, "kernels must be bit-identical");
+        skipping
+    }
+
+    #[test]
+    fn kernels_bit_identical_on_private_and_sharing_streams() {
+        for technique in [
+            Technique::Baseline,
+            Technique::Protocol,
+            Technique::Decay { decay_cycles: 2048 },
+            Technique::SelectiveDecay { decay_cycles: 4096 },
+        ] {
+            run_both_kernels(tiny_cfg(technique), private_streams);
+            run_both_kernels(tiny_cfg(technique), sharing_streams);
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_with_idle_cores_and_memory_stalls() {
+        // Core 0 is compute-heavy and drains early (Idle spans); core 1
+        // pointer-chases a large footprint (window-blocked memory
+        // stalls): both classes of quiet span in one run.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            vec![
+                Box::new(ReplayWorkload::cycle(vec![TraceOp::Exec(64), TraceOp::Load(1 << 21)])),
+                Box::new(ReplayWorkload::cycle(
+                    (0..2048u64).map(|i| TraceOp::Load((2 << 20) + i * 64)).collect(),
+                )),
+            ]
+        };
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        cfg.instructions_per_core = 10_000;
+        let stats = run_both_kernels(cfg, wl);
+        assert!(stats.cores[1].window_stall_cycles > 0, "stalls must occur to be skipped");
+    }
+
+    #[test]
+    fn kernels_bit_identical_with_memory_latency_beyond_event_window() {
+        // DataReady events land past the bucket ring: the overflow heap
+        // and its migration are on the hot path of both kernels.
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 4096 });
+        cfg.mem.latency = 3 * EVENT_BUCKETS as u64;
+        cfg.instructions_per_core = 5_000;
+        run_both_kernels(cfg, private_streams);
+    }
+
+    #[test]
+    fn kernels_bit_identical_at_cycle_cap() {
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 1024 });
+        cfg.max_cycles = 7_777; // cut mid-run, also mid-interval
+        let stats = run_both_kernels(cfg, private_streams);
+        assert_eq!(stats.cycles, 7_777);
+    }
+
+    #[test]
+    fn event_queue_orders_like_a_heap_across_overflow() {
+        let mut q = EventQueue::new();
+        let ev = |core: usize| EvKind::L1Hit { core, id: 0, issued_at: 0 };
+        // Far-future events (overflow), then near ones, interleaved on
+        // the same cycle to exercise FIFO-per-cycle across migration.
+        q.push(5000, ev(0));
+        q.push(3, ev(1));
+        q.push(3, ev(2));
+        q.push(5000, ev(3));
+        q.push(1500, ev(4));
+        assert_eq!(q.next_at(), Some(3));
+        assert!(q.pop_due(2).is_none());
+        assert_eq!(q.pop_due(3), Some(ev(1)));
+        assert_eq!(q.pop_due(3), Some(ev(2)));
+        assert!(q.pop_due(3).is_none());
+        assert_eq!(q.next_at(), Some(1500));
+        // Jump far ahead: both the in-window and the overflow events
+        // drain in time order with FIFO ties.
+        assert_eq!(q.pop_due(6000), Some(ev(4)));
+        assert_eq!(q.pop_due(6000), Some(ev(0)));
+        assert_eq!(q.pop_due(6000), Some(ev(3)));
+        assert!(q.pop_due(6000).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retry_queue_membership_tracks_duplicates() {
+        let mut q = RetryQueue::default();
+        q.push_back(LineAddr(7));
+        q.push_back(LineAddr(9));
+        q.push_back(LineAddr(7));
+        assert!(q.contains(LineAddr(7)));
+        assert_eq!(q.pop_front(), Some(LineAddr(7)));
+        assert!(q.contains(LineAddr(7)), "second copy still queued");
+        assert_eq!(q.pop_front(), Some(LineAddr(9)));
+        assert!(!q.contains(LineAddr(9)));
+        assert_eq!(q.pop_front(), Some(LineAddr(7)));
+        assert!(!q.contains(LineAddr(7)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        let mut scratch = SimScratch::default();
+        let a = run_simulation_with_scratch(
+            tiny_cfg(Technique::Protocol),
+            sharing_streams(),
+            &mut scratch,
+        );
+        // Second run adopts the warmed pools; results must not change.
+        let b = run_simulation_with_scratch(
+            tiny_cfg(Technique::Protocol),
+            sharing_streams(),
+            &mut scratch,
+        );
+        let fresh = run_simulation(tiny_cfg(Technique::Protocol), sharing_streams());
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
     }
 
     #[test]
