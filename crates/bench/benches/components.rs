@@ -7,7 +7,8 @@ use cmpleak_coherence::mesi::{step, Event, MesiState, SnoopContext};
 use cmpleak_coherence::Technique;
 use cmpleak_cpu::Workload;
 use cmpleak_mem::{
-    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, SetAssocArray, ShadowTags,
+    DecayBank, DecayConfig, Geometry, LineAddr, LineStateBank, LookupOutcome, Mshr, SetAssocArray,
+    ShadowTags,
 };
 use cmpleak_power::{PowerParams, ThermalModel};
 use cmpleak_system::{run_simulation, CmpConfig};
@@ -56,22 +57,24 @@ fn bench_mem(c: &mut Criterion) {
     });
 
     // One decay tick over a 16K-line bank (the recurring cost of the
-    // hierarchical counter scan).
+    // hierarchical counter scan, now word-chunked over the columnar
+    // line-state bank).
     g.bench_function("decay_bank_tick_16k_lines", |b| {
-        let mut bank = DecayBank::new(16 * 1024, DecayConfig::fixed(4 << 10));
+        let mut bank = DecayBank::new(DecayConfig::fixed(4 << 10));
+        let mut st = LineStateBank::new(16 * 1024);
         for slot in 0..16 * 1024 {
-            bank.on_access(slot);
+            bank.on_access(&mut st, slot);
         }
         let mut now = 0u64;
         let mut sink = Vec::new();
         b.iter(|| {
             now += 1 << 10;
             sink.clear();
-            bank.advance(now, &mut sink);
+            bank.advance(&mut st, now, &mut sink);
             // Keep lines live so every tick scans everything.
             if sink.len() > 8 * 1024 {
                 for slot in 0..16 * 1024 {
-                    bank.on_access(slot);
+                    bank.on_access(&mut st, slot);
                 }
             }
         })

@@ -1,0 +1,401 @@
+//! Line-state bank harness: measures what the columnar storage layer
+//! buys — arena reuse across sweep grid cells, word-chunked decay-tick
+//! and final-accounting scans vs. the naive per-line loops, and the
+//! baseline→technique sweep memoization — and emits `BENCH_bank.json`.
+//!
+//! ```text
+//! bank [--instr N] [--reps N] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the budgets to a CI smoke that asserts the load
+//! bearing claims cheaply (arena reuse eliminates per-cell allocation;
+//! the chunked scans agree with the naive reference); the committed
+//! JSON is produced by a full run.
+
+use cmpleak_core::experiment::{run_experiment_with_scratch, ExperimentConfig, ExperimentScratch};
+use cmpleak_core::sweep::{run_sweep, run_sweep_reference, SweepConfig};
+use cmpleak_core::{Scenario, Technique, WorkloadSpec};
+use cmpleak_mem::{DecayBank, DecayConfig, LineStateBank};
+use serde::Serialize;
+use std::time::Instant;
+
+// ---- naive reference models (the pre-columnar per-line loops) ---------
+
+/// The old `Vec<bool>`/`Vec<u8>` decay scan: every line tested one at a
+/// time on every tick.
+struct NaiveDecay {
+    counters: Vec<u8>,
+    armed: Vec<bool>,
+    live: Vec<bool>,
+    sat: u8,
+}
+
+impl NaiveDecay {
+    fn new(lines: usize, sat: u8) -> Self {
+        Self { counters: vec![0; lines], armed: vec![true; lines], live: vec![false; lines], sat }
+    }
+
+    fn on_access(&mut self, slot: usize) {
+        self.counters[slot] = 0;
+        self.live[slot] = true;
+    }
+
+    fn tick(&mut self, decayed: &mut Vec<usize>) {
+        for slot in 0..self.counters.len() {
+            if !self.live[slot] || !self.armed[slot] {
+                continue;
+            }
+            let c = &mut self.counters[slot];
+            if *c < self.sat {
+                *c += 1;
+                if *c == self.sat {
+                    self.live[slot] = false;
+                    decayed.push(slot);
+                }
+            }
+        }
+    }
+}
+
+/// The old per-line final-accounting pass.
+struct NaivePower {
+    powered: Vec<bool>,
+    since: Vec<u64>,
+    on: Vec<u64>,
+}
+
+impl NaivePower {
+    fn new(lines: usize) -> Self {
+        Self { powered: vec![false; lines], since: vec![0; lines], on: vec![0; lines] }
+    }
+
+    fn power_on(&mut self, slot: usize, now: u64) {
+        if !self.powered[slot] {
+            self.powered[slot] = true;
+            self.since[slot] = now;
+        }
+    }
+
+    fn finish(&mut self, now: u64) -> u64 {
+        for slot in 0..self.powered.len() {
+            if self.powered[slot] {
+                self.on[slot] += now - self.since[slot];
+                self.since[slot] = now;
+            }
+        }
+        self.on.iter().sum()
+    }
+}
+
+/// Deterministic slot selection at a given density (splitmix-style hash
+/// per slot, so the pattern is scattered rather than a prefix).
+fn selected(slot: usize, permille: u64) -> bool {
+    let mut x = slot as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (x ^ (x >> 31)) % 1000 < permille
+}
+
+// ---- report shape -----------------------------------------------------
+
+#[derive(Debug, Serialize)]
+struct ArenaReport {
+    /// Grid cells run back-to-back on one scratch.
+    cells: usize,
+    total_l2_mb: usize,
+    /// Fresh allocations after the first cell (the cold checkout).
+    fresh_allocations_first_cell: u64,
+    /// Fresh allocations added by all subsequent cells (the claim: 0).
+    fresh_allocations_after_warmup: u64,
+    /// Pool hits across the whole run.
+    reuses: u64,
+    checkouts: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScanCell {
+    lines: usize,
+    live_permille: u64,
+    tick_naive_ns: f64,
+    tick_banked_ns: f64,
+    tick_speedup: f64,
+    finish_naive_ns: f64,
+    finish_banked_ns: f64,
+    finish_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct MemoReport {
+    grid_cells: usize,
+    full_s: f64,
+    memoized_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BankReport {
+    instructions_per_core: u64,
+    reps: u32,
+    arena: ArenaReport,
+    scans: Vec<ScanCell>,
+    sweep_memoization: MemoReport,
+}
+
+struct Opts {
+    instr: u64,
+    reps: u32,
+    quick: bool,
+    out: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { instr: 120_000, reps: 5, quick: false, out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--instr" => opts.instr = args.next().and_then(|v| v.parse().ok()).expect("--instr N"),
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = Some(args.next().expect("--out PATH")),
+            other => panic!("unknown argument {other} (try --instr/--reps/--quick/--out)"),
+        }
+    }
+    if opts.quick {
+        opts.instr = opts.instr.min(25_000);
+        opts.reps = 2;
+    }
+    opts
+}
+
+// ---- sections ---------------------------------------------------------
+
+/// Back-to-back experiments at the paper's largest (8 MB) configuration
+/// on one scratch: after the first cell warms the arena, later cells
+/// must not allocate per-line columns at all.
+fn arena_section(instr: u64) -> ArenaReport {
+    let total_l2_mb = 8;
+    let mut scratch = ExperimentScratch::default();
+    let grid: Vec<(WorkloadSpec, Technique)> =
+        [Technique::Baseline, Technique::Protocol, Technique::Decay { decay_cycles: 64 * 1024 }]
+            .into_iter()
+            .flat_map(|t| [(WorkloadSpec::water_ns(), t), (WorkloadSpec::mpeg2dec(), t)])
+            .collect();
+    let mut first_cell = 0u64;
+    for (i, (spec, technique)) in grid.iter().enumerate() {
+        let mut cfg = ExperimentConfig::paper(*spec, *technique, total_l2_mb);
+        cfg.instructions_per_core = instr;
+        run_experiment_with_scratch(&cfg, &mut scratch);
+        if i == 0 {
+            first_cell = scratch.arena_stats().fresh_allocations;
+        }
+    }
+    let s = scratch.arena_stats();
+    ArenaReport {
+        cells: grid.len(),
+        total_l2_mb,
+        fresh_allocations_first_cell: first_cell,
+        fresh_allocations_after_warmup: s.fresh_allocations - first_cell,
+        reuses: s.reuses,
+        checkouts: s.checkouts,
+    }
+}
+
+/// Time `f` best-of-`reps`, returning ns per inner iteration.
+fn time_ns(reps: u32, iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+/// Decay-tick and final-accounting scans, word-chunked vs. naive, on the
+/// per-cache line counts of the 8 MB configurations (2 MB per private
+/// cache = 32 K lines; 131 K = the whole 8 MB as one array).
+fn scan_section(reps: u32, iters: u32, quick: bool) -> Vec<ScanCell> {
+    let line_counts: &[usize] = if quick { &[32 * 1024] } else { &[32 * 1024, 128 * 1024] };
+    let densities: &[u64] = if quick { &[250] } else { &[1000, 250, 30] };
+    let mut out = Vec::new();
+    for &lines in line_counts {
+        for &permille in densities {
+            let sat = DecayConfig::fixed(4 << 10).saturation();
+
+            // -- decay tick --
+            let mut naive = NaiveDecay::new(lines, sat);
+            let mut bank = DecayBank::new(DecayConfig::fixed(4 << 10));
+            let mut st = LineStateBank::new(lines);
+            let arm = |nv: &mut NaiveDecay, bk: &mut DecayBank, st: &mut LineStateBank| {
+                for slot in 0..lines {
+                    if selected(slot, permille) {
+                        nv.on_access(slot);
+                        bk.on_access(st, slot);
+                    }
+                }
+            };
+            arm(&mut naive, &mut bank, &mut st);
+            // Equality of one full decay sequence before timing.
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let mut now = 0u64;
+            for _ in 0..u64::from(sat) {
+                now += bank.config().tick_period();
+                a.clear();
+                naive.tick(&mut a);
+                b.clear();
+                bank.advance(&mut st, now, &mut b);
+                assert_eq!(a, b, "chunked tick diverged from the naive scan");
+            }
+            arm(&mut naive, &mut bank, &mut st);
+            let mut sink = Vec::new();
+            let tick_naive_ns = time_ns(reps, iters, || {
+                sink.clear();
+                naive.tick(&mut sink);
+                if !sink.is_empty() {
+                    for &s in &sink {
+                        naive.on_access(s);
+                    }
+                }
+            });
+            let tick_banked_ns = time_ns(reps, iters, || {
+                sink.clear();
+                now += bank.config().tick_period();
+                bank.advance(&mut st, now, &mut sink);
+                if !sink.is_empty() {
+                    for &s in &sink {
+                        bank.on_access(&mut st, s);
+                    }
+                }
+            });
+
+            // -- final accounting --
+            let mut np = NaivePower::new(lines);
+            let mut pb = LineStateBank::new(lines);
+            for slot in 0..lines {
+                if selected(slot, permille) {
+                    np.power_on(slot, 5);
+                    pb.power_on(slot, 5);
+                }
+            }
+            assert_eq!(np.finish(1000), pb.finish_on_cycles(1000), "accounting diverged");
+            let mut t = 1000u64;
+            let finish_naive_ns = time_ns(reps, iters, || {
+                t += 1000;
+                std::hint::black_box(np.finish(t));
+            });
+            let mut t2 = 1000u64;
+            let finish_banked_ns = time_ns(reps, iters, || {
+                t2 += 1000;
+                std::hint::black_box(pb.finish_on_cycles(t2));
+            });
+
+            out.push(ScanCell {
+                lines,
+                live_permille: permille,
+                tick_naive_ns,
+                tick_banked_ns,
+                tick_speedup: tick_naive_ns / tick_banked_ns,
+                finish_naive_ns,
+                finish_banked_ns,
+                finish_speedup: finish_naive_ns / finish_banked_ns,
+            });
+        }
+    }
+    out
+}
+
+/// Wall-clock of the memoized sweep vs. the fully simulated reference
+/// over a Protocol-bearing grid.
+fn memo_section(instr: u64, reps: u32) -> MemoReport {
+    let cfg = SweepConfig {
+        scenarios: vec![
+            Scenario::Homogeneous(WorkloadSpec::water_ns()),
+            Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+        ],
+        sizes_mb: vec![8],
+        techniques: Technique::paper_set(),
+        instructions_per_core: instr,
+        seed: 42,
+        n_cores: 4,
+        threads: 1, // serial: measure simulation work saved, not scheduling
+    };
+    let mut full_s = f64::INFINITY;
+    let mut memoized_s = f64::INFINITY;
+    let mut cells = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let full = run_sweep_reference(&cfg);
+        full_s = full_s.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let memo = run_sweep(&cfg);
+        memoized_s = memoized_s.min(t1.elapsed().as_secs_f64());
+        assert_eq!(full.cells.len(), memo.cells.len());
+        cells = memo.cells.len();
+    }
+    MemoReport { grid_cells: cells, full_s, memoized_s, speedup: full_s / memoized_s }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let iters = if opts.quick { 20 } else { 200 };
+
+    println!("== arena reuse (8 MB grid cells on one scratch) ==");
+    let arena = arena_section(opts.instr);
+    println!(
+        "cells {} | fresh allocs: first cell {}, after warmup {} | reuses {}/{}",
+        arena.cells,
+        arena.fresh_allocations_first_cell,
+        arena.fresh_allocations_after_warmup,
+        arena.reuses,
+        arena.checkouts
+    );
+
+    println!("== per-line scans: word-chunked vs naive ==");
+    let scans = scan_section(opts.reps, iters, opts.quick);
+    for s in &scans {
+        println!(
+            "{:>7} lines @{:>4}‰ live | tick {:>10.0}ns vs {:>10.0}ns ({:>5.2}x) | finish {:>10.0}ns vs {:>10.0}ns ({:>5.2}x)",
+            s.lines, s.live_permille, s.tick_naive_ns, s.tick_banked_ns, s.tick_speedup,
+            s.finish_naive_ns, s.finish_banked_ns, s.finish_speedup
+        );
+    }
+
+    println!("== sweep memoization (serial, 8 MB, paper techniques) ==");
+    let memo = memo_section(opts.instr, if opts.quick { 1 } else { opts.reps.min(3) });
+    println!(
+        "{} cells | full {:.2}s vs memoized {:.2}s ({:.2}x)",
+        memo.grid_cells, memo.full_s, memo.memoized_s, memo.speedup
+    );
+
+    if opts.quick {
+        // CI smoke: the load-bearing claims, cheaply.
+        assert_eq!(
+            arena.fresh_allocations_after_warmup, 0,
+            "warmed arena must serve every later cell from the pool"
+        );
+        for s in &scans {
+            assert!(
+                s.tick_speedup > 0.5 && s.finish_speedup > 0.5,
+                "chunked scans catastrophically slower than naive: {s:?}"
+            );
+        }
+        assert!(memo.speedup > 0.9, "memoized sweep slower than the full one ({memo:?})");
+    }
+
+    let report = BankReport {
+        instructions_per_core: opts.instr,
+        reps: opts.reps,
+        arena,
+        scans,
+        sweep_memoization: memo,
+    };
+    if let Some(path) = &opts.out {
+        let mut json = serde_json::to_string_pretty(&report).expect("serializable");
+        json.push('\n');
+        std::fs::write(path, json).expect("report written");
+        println!("wrote {path}");
+    }
+}

@@ -79,10 +79,23 @@ pub struct ExperimentResult {
 
 /// Reusable allocation pools for back-to-back experiments (one per
 /// sweep worker thread): wraps the simulator's [`SimScratch`] so queue
-/// and event-ring capacities stay warm across grid cells.
+/// and event-ring capacities — and, via the bank arena, the multi-MB
+/// per-line columns of every cache — stay warm across grid cells.
 #[derive(Debug, Default)]
 pub struct ExperimentScratch {
     sim: SimScratch,
+}
+
+impl ExperimentScratch {
+    /// Allocation counters of the per-line-state arena.
+    pub fn arena_stats(&self) -> cmpleak_system::ArenaStats {
+        self.sim.arena_stats()
+    }
+
+    /// Event-queue occupancy counters from the most recent run.
+    pub fn event_queue_stats(&self) -> cmpleak_system::EventQueueStats {
+        self.sim.event_queue_stats()
+    }
 }
 
 /// Run the experiment: build per-core workloads, simulate, integrate
@@ -106,6 +119,50 @@ pub fn run_experiment_with_scratch(
         benchmark: cfg.scenario.label(),
         technique: cfg.technique.name(),
         total_l2_mb: cfg.total_l2_mb,
+        stats,
+        power,
+    }
+}
+
+/// Derive the **baseline** cell of `cfg` (whose `technique` must be
+/// `Baseline`) from a completed run of a timing-identical technique —
+/// re-running only the power bookkeeping instead of the simulation.
+///
+/// A [`Technique::timing_identical_to_baseline`] run (Protocol) differs
+/// from the baseline run of the same (scenario, size, seed) in exactly
+/// three places, all pure power accounting: the powered-line integrals
+/// (baseline: every line powered the whole run), the per-interval
+/// powered-line trace (baseline: the full capacity), and the turn-off
+/// counters (baseline: zero). Every timing-borne statistic —
+/// cycles, per-core stalls, hits/misses, induced misses, bus and memory
+/// traffic, AMAT inputs — is byte-identical and carried over. The
+/// energy/thermal report is then re-evaluated under the baseline
+/// technique, exactly as a full run would have.
+///
+/// The equality of the derived cell with a fully simulated baseline is
+/// pinned by `tests/sweep_memoization.rs` (cell-for-cell against the
+/// unmemoized sweep) and by the golden snapshot.
+pub fn derive_baseline_cell(cfg: &ExperimentConfig, donor: &ExperimentResult) -> ExperimentResult {
+    assert!(matches!(cfg.technique, Technique::Baseline), "derivation targets the baseline cell");
+    assert_eq!(donor.benchmark, cfg.scenario.label(), "donor must be the same scenario");
+    assert_eq!(donor.total_l2_mb, cfg.total_l2_mb, "donor must be the same cache size");
+    let mut stats = donor.stats.clone();
+    // Re-run the power bookkeeping under "never gate anything":
+    stats.l2_on_line_cycles = stats.l2_line_cycle_capacity;
+    for l2 in &mut stats.l2 {
+        l2.turnoffs_protocol = 0;
+        l2.turnoffs_decay = 0;
+        l2.dirty_decay_turnoffs = 0;
+    }
+    for iv in &mut stats.trace {
+        iv.l2_powered_line_cycles = iv.l2_total_line_cycles;
+    }
+    let bank_bytes = cfg.cmp_config().l2.size_bytes;
+    let power = evaluate_energy(cfg.power, Technique::Baseline, cfg.n_cores, bank_bytes, &stats);
+    ExperimentResult {
+        benchmark: donor.benchmark.clone(),
+        technique: Technique::Baseline.name(),
+        total_l2_mb: donor.total_l2_mb,
         stats,
         power,
     }
@@ -152,6 +209,16 @@ mod tests {
         let b = run_experiment(&quick(Technique::Decay { decay_cycles: 64 * 1024 }));
         assert_eq!(a.stats, b.stats, "whole-stats bit-identity");
         assert_eq!(a.power, b.power);
+    }
+
+    #[test]
+    fn derived_baseline_is_bit_identical_to_a_simulated_one() {
+        let donor = run_experiment(&quick(Technique::Protocol));
+        let simulated = run_experiment(&quick(Technique::Baseline));
+        let derived = derive_baseline_cell(&quick(Technique::Baseline), &donor);
+        assert_eq!(derived.stats, simulated.stats, "whole-SimStats bit-identity");
+        assert_eq!(derived.power, simulated.power);
+        assert_eq!(derived.technique, "baseline");
     }
 
     #[test]

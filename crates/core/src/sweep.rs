@@ -9,7 +9,8 @@
 //! (pinned by the golden regression test in `tests/golden_sweep.rs`).
 
 use crate::experiment::{
-    run_experiment_with_scratch, ExperimentConfig, ExperimentResult, ExperimentScratch,
+    derive_baseline_cell, run_experiment_with_scratch, ExperimentConfig, ExperimentResult,
+    ExperimentScratch,
 };
 use crate::metrics::TechniqueMetrics;
 use crate::scenario::Scenario;
@@ -149,25 +150,63 @@ fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell 
     }
 }
 
-/// Run the sweep.
+/// Run the sweep, memoizing the baseline against its timing-identical
+/// technique twin.
+///
+/// Within every (scenario, size) group, the baseline and a
+/// [`Technique::timing_identical_to_baseline`] technique (Protocol)
+/// produce cycle-for-cycle identical simulations that differ only in
+/// power bookkeeping. When the technique list contains such a twin, the
+/// baseline cell is **derived** from the twin's result
+/// ([`derive_baseline_cell`] re-runs only the power accounting) instead
+/// of being simulated — one full simulation saved per group. The output
+/// is byte-identical to [`run_sweep_reference`] (pinned cell-for-cell
+/// by `tests/sweep_memoization.rs` and by the golden snapshot, which
+/// passes unchanged with memoization on).
 pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
+    run_sweep_inner(cfg, true).0
+}
+
+/// [`run_sweep`] with memoization disabled: every cell, baseline
+/// included, is fully simulated. The differential reference for the
+/// memoized path.
+pub fn run_sweep_reference(cfg: &SweepConfig) -> SweepResults {
+    run_sweep_inner(cfg, false).0
+}
+
+/// Returns the results plus the number of derived (unsimulated) cells.
+fn run_sweep_inner(cfg: &SweepConfig, memoize: bool) -> (SweepResults, usize) {
+    // The technique whose run can stand in for the baseline simulation,
+    // if any: the first timing-identical one in the configured list.
+    let donor_offset = cfg
+        .techniques
+        .iter()
+        .position(|t| t.timing_identical_to_baseline())
+        .filter(|_| memoize)
+        .map(|i| i + 1); // +1: the baseline occupies slot 0 of each group
+
     // Job list: for each (scenario, size): baseline + each technique.
-    let mut jobs: Vec<ExperimentConfig> = Vec::new();
+    // `simulate` is false for baseline cells that will be derived.
+    let mut jobs: Vec<(ExperimentConfig, bool)> = Vec::new();
     for scenario in &cfg.scenarios {
         for &size in &cfg.sizes_mb {
             let mut techs = vec![Technique::Baseline];
             techs.extend(cfg.techniques.iter().copied());
-            for tech in techs {
-                jobs.push(ExperimentConfig {
-                    scenario: scenario.clone(),
-                    technique: tech,
-                    total_l2_mb: size,
-                    instructions_per_core: cfg.instructions_per_core,
-                    seed: cfg.seed,
-                    n_cores: cfg.n_cores,
-                    power: PowerParams::default(),
-                    kernel: Default::default(),
-                });
+            for (k, tech) in techs.into_iter().enumerate() {
+                let simulate = !(k == 0 && donor_offset.is_some());
+                jobs.push((
+                    ExperimentConfig {
+                        scenario: scenario.clone(),
+                        technique: tech,
+                        total_l2_mb: size,
+                        instructions_per_core: cfg.instructions_per_core,
+                        seed: cfg.seed,
+                        n_cores: cfg.n_cores,
+                        power: PowerParams::default(),
+                        kernel: Default::default(),
+                    },
+                    simulate,
+                ));
             }
         }
     }
@@ -193,12 +232,15 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
                 let jobs = &jobs;
                 let res_tx = res_tx.clone();
                 s.spawn(move || {
-                    // Per-worker scratch: queue/event-ring allocations
-                    // are recycled across this worker's jobs.
+                    // Per-worker scratch: queue/event-ring/per-line-bank
+                    // allocations are recycled across this worker's jobs.
                     let mut scratch = ExperimentScratch::default();
                     loop {
                         let i = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { return };
+                        let Some((job, simulate)) = jobs.get(i) else { return };
+                        if !simulate {
+                            continue; // derived after the pool finishes
+                        }
                         let r = run_experiment_with_scratch(job, &mut scratch);
                         if res_tx.send((i, r)).is_err() {
                             return;
@@ -211,6 +253,18 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
                 results[i] = Some(r);
             }
         });
+    }
+
+    // Derive the skipped baseline cells from their donors (a pure
+    // bookkeeping pass, deterministic for any thread count).
+    let mut derived = 0usize;
+    if let Some(offset) = donor_offset {
+        let group = 1 + cfg.techniques.len();
+        for base_idx in (0..jobs.len()).step_by(group) {
+            let donor = results[base_idx + offset].as_ref().expect("donor simulated");
+            results[base_idx] = Some(derive_baseline_cell(&jobs[base_idx].0, donor));
+            derived += 1;
+        }
     }
     let results: Vec<ExperimentResult> =
         results.into_iter().map(|r| r.expect("all jobs completed")).collect();
@@ -225,7 +279,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
             cells.push(summarize(tech, TechniqueMetrics::compare(base, tech)));
         }
     }
-    SweepResults { cells }
+    (SweepResults { cells }, derived)
 }
 
 #[cfg(test)]
@@ -256,6 +310,31 @@ mod tests {
         assert_eq!(res.cells[1].technique, "protocol");
         assert_eq!(res.cells[2].technique, "decay16K");
         assert_eq!(res.benchmarks(), vec!["mpeg2dec", "VOLREND"]);
+    }
+
+    #[test]
+    fn memoized_sweep_equals_reference_and_actually_derives() {
+        let cfg = tiny(); // includes Protocol: one derived baseline per group
+        let (memo, derived) = run_sweep_inner(&cfg, true);
+        let (full, none) = run_sweep_inner(&cfg, false);
+        assert_eq!(derived, 2, "one baseline derived per (scenario, size) group");
+        assert_eq!(none, 0);
+        for (a, b) in memo.cells.iter().zip(&full.cells) {
+            assert_eq!(a.cycles, b.cycles, "{}:{}", a.benchmark, a.technique);
+            assert_eq!(a.mem_bytes, b.mem_bytes);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.energy_pj, b.energy_pj);
+            assert_eq!(a.avg_l2_temp_c, b.avg_l2_temp_c);
+        }
+    }
+
+    #[test]
+    fn sweep_without_a_timing_twin_simulates_every_cell() {
+        let mut cfg = tiny();
+        cfg.techniques = vec![Technique::Decay { decay_cycles: 16 * 1024 }];
+        let (res, derived) = run_sweep_inner(&cfg, true);
+        assert_eq!(derived, 0, "no timing-identical technique, nothing to derive");
+        assert_eq!(res.cells.len(), 4);
     }
 
     #[test]

@@ -80,8 +80,15 @@ pub enum ProgressState {
     /// check that the port would keep refusing. While it does, each
     /// tick charges one active + one reject-stall cycle.
     RetryLoad(u64),
-    /// The core can dispatch (or must attempt a store retry / workload
-    /// fetch whose outcome the core cannot predict): it must be ticked.
+    /// A store to this address was refused (write buffer full) and will
+    /// be re-presented every tick. As with `RetryLoad`, the caller must
+    /// check that the hierarchy would keep refusing; while it does, each
+    /// tick charges one active + one reject-stall cycle (plus one
+    /// write-buffer full-stall on the refused push, which the caller
+    /// bulk-charges alongside).
+    RetryStore(u64),
+    /// The core can dispatch (or must attempt a workload fetch whose
+    /// outcome the core cannot predict): it must be ticked.
     Ready,
 }
 
@@ -189,16 +196,19 @@ impl CoreModel {
         if self.window_full() {
             return ProgressState::WindowBlocked;
         }
-        if let Some(TraceOp::Load(addr)) = self.retry {
-            // The tick would re-present this load. A full load queue
-            // blocks it before the port is consulted (counted as a
-            // window stall, exactly as `tick` does).
-            if self.outstanding.len() >= self.cfg.max_outstanding_loads {
-                return ProgressState::WindowBlocked;
+        match self.retry {
+            Some(TraceOp::Load(addr)) => {
+                // The tick would re-present this load. A full load queue
+                // blocks it before the port is consulted (counted as a
+                // window stall, exactly as `tick` does).
+                if self.outstanding.len() >= self.cfg.max_outstanding_loads {
+                    return ProgressState::WindowBlocked;
+                }
+                ProgressState::RetryLoad(addr)
             }
-            return ProgressState::RetryLoad(addr);
+            Some(TraceOp::Store(addr)) => ProgressState::RetryStore(addr),
+            _ => ProgressState::Ready,
         }
-        ProgressState::Ready
     }
 
     /// Account `cycles` ticks spent in a stall state in one step: the

@@ -165,6 +165,17 @@ proptest! {
                         prop_assert_eq!(after.window_stall_cycles, before.window_stall_cycles);
                     }
                 }
+                ProgressState::RetryStore(_) => {
+                    // Same contract as a retried load: while the port
+                    // keeps refusing, one active + one reject-stall.
+                    if dispatched == 0 && after.stores == before.stores {
+                        prop_assert_eq!(after.active_cycles, before.active_cycles + 1);
+                        prop_assert_eq!(
+                            after.reject_stall_cycles, before.reject_stall_cycles + 1
+                        );
+                        prop_assert_eq!(after.window_stall_cycles, before.window_stall_cycles);
+                    }
+                }
                 ProgressState::Ready => {}
             }
             if core.drained() {

@@ -4,8 +4,22 @@
 //! bits, …) supplied by the embedding cache model. Validity is part of the
 //! metadata (`M::is_valid`), so the array itself never interprets the
 //! coherence state — it only provides lookup, touch and victim selection.
+//!
+//! Storage is **columnar**: tags, LRU stamps and metadata live in three
+//! parallel arrays instead of an array of per-line structs, so the probe
+//! loop walks a dense `u64` tag column (metadata is consulted only on a
+//! tag match) and the two large columns can be checked out of a
+//! [`BankArena`] and reused across simulations instead of being
+//! reallocated per sweep grid cell. An invalid slot's tag is pinned to a
+//! sentinel so stale tags can never alias a probe.
 
 use crate::addr::{Geometry, LineAddr};
+use crate::bank::BankArena;
+
+/// Tag column value of an invalid slot. Line addresses are byte
+/// addresses shifted right by the offset bits, so `u64::MAX` is
+/// unreachable for any real line.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Per-line metadata contract. `Default` must produce an *invalid* line.
 pub trait LineMeta: Default + Clone {
@@ -13,22 +27,17 @@ pub trait LineMeta: Default + Clone {
     fn is_valid(&self) -> bool;
 }
 
-/// One line slot: tag + LRU stamp + caller metadata.
-#[derive(Debug, Clone)]
-pub struct Line<M> {
+/// Read-only view of one line slot (tag + LRU stamp + caller metadata),
+/// assembled from the columns.
+#[derive(Debug)]
+pub struct LineView<'a, M> {
     /// Full line address of the resident block (meaningful only when
     /// `meta.is_valid()`).
     pub tag: LineAddr,
     /// Monotonic last-use stamp for LRU.
     pub lru: u64,
     /// Caller-owned metadata.
-    pub meta: M,
-}
-
-impl<M: LineMeta> Default for Line<M> {
-    fn default() -> Self {
-        Self { tag: LineAddr(u64::MAX), lru: 0, meta: M::default() }
-    }
+    pub meta: &'a M,
 }
 
 /// Result of a lookup: hit slot or the set to fill into.
@@ -40,18 +49,42 @@ pub enum LookupOutcome {
     Miss,
 }
 
-/// A set-associative array of `Line<M>`.
+/// A set-associative array of lines carrying metadata `M`, stored as
+/// parallel tag / LRU / metadata columns.
 #[derive(Debug, Clone)]
 pub struct SetAssocArray<M> {
     geom: Geometry,
-    lines: Vec<Line<M>>,
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    meta: Vec<M>,
     stamp: u64,
 }
 
 impl<M: LineMeta> SetAssocArray<M> {
     /// Allocate an array with all lines invalid.
     pub fn new(geom: Geometry) -> Self {
-        Self { geom, lines: (0..geom.lines()).map(|_| Line::default()).collect(), stamp: 0 }
+        Self::new_in(geom, &mut BankArena::default())
+    }
+
+    /// Like [`SetAssocArray::new`], with the tag and LRU columns checked
+    /// out of `arena` (the metadata column is comparatively tiny and
+    /// type-specific, so it is allocated fresh).
+    pub fn new_in(geom: Geometry, arena: &mut BankArena) -> Self {
+        let lines = geom.lines();
+        Self {
+            geom,
+            tags: arena.take_u64(lines, INVALID_TAG),
+            lru: arena.take_u64(lines, 0),
+            meta: (0..lines).map(|_| M::default()).collect(),
+            stamp: 0,
+        }
+    }
+
+    /// Return the arena-backed columns (the array becomes empty).
+    pub fn release_into(&mut self, arena: &mut BankArena) {
+        arena.give_u64(std::mem::take(&mut self.tags));
+        arena.give_u64(std::mem::take(&mut self.lru));
+        self.meta.clear();
     }
 
     /// The geometry this array was built with.
@@ -75,11 +108,12 @@ impl<M: LineMeta> SetAssocArray<M> {
         self.set_slots(line)
     }
 
-    /// Find the slot holding `line`, without updating LRU state.
+    /// Find the slot holding `line`, without updating LRU state. Scans
+    /// the tag column only; metadata validity is confirmed on a match
+    /// (an invalid slot's tag is the sentinel, so this cannot hit).
     pub fn probe(&self, line: LineAddr) -> LookupOutcome {
         for idx in self.set_range(line) {
-            let l = &self.lines[idx];
-            if l.meta.is_valid() && l.tag == line {
+            if self.tags[idx] == line.0 && self.meta[idx].is_valid() {
                 return LookupOutcome::Hit(idx);
             }
         }
@@ -101,7 +135,7 @@ impl<M: LineMeta> SetAssocArray<M> {
     #[inline]
     pub fn touch(&mut self, slot: usize) {
         self.stamp += 1;
-        self.lines[slot].lru = self.stamp;
+        self.lru[slot] = self.stamp;
     }
 
     /// Choose a victim slot in `line`'s set: an invalid way if one exists,
@@ -110,12 +144,11 @@ impl<M: LineMeta> SetAssocArray<M> {
         let mut best = usize::MAX;
         let mut best_lru = u64::MAX;
         for idx in self.set_range(line) {
-            let l = &self.lines[idx];
-            if !l.meta.is_valid() {
+            if !self.meta[idx].is_valid() {
                 return idx;
             }
-            if l.lru < best_lru {
-                best_lru = l.lru;
+            if self.lru[idx] < best_lru {
+                best_lru = self.lru[idx];
                 best = idx;
             }
         }
@@ -126,47 +159,45 @@ impl<M: LineMeta> SetAssocArray<M> {
     /// metadata, and mark it MRU. Returns the evicted line's `(tag, meta)`
     /// if the slot held a valid block.
     pub fn fill(&mut self, slot: usize, line: LineAddr, meta: M) -> Option<(LineAddr, M)> {
-        let prev = {
-            let l = &self.lines[slot];
-            if l.meta.is_valid() {
-                Some((l.tag, l.meta.clone()))
-            } else {
-                None
-            }
+        let prev = if self.meta[slot].is_valid() {
+            Some((LineAddr(self.tags[slot]), self.meta[slot].clone()))
+        } else {
+            None
         };
         self.stamp += 1;
-        let l = &mut self.lines[slot];
-        l.tag = line;
-        l.meta = meta;
-        l.lru = self.stamp;
+        self.tags[slot] = line.0;
+        self.meta[slot] = meta;
+        self.lru[slot] = self.stamp;
         prev
     }
 
-    /// Immutable access to a slot.
+    /// Immutable view of a slot.
     #[inline]
-    pub fn slot(&self, slot: usize) -> &Line<M> {
-        &self.lines[slot]
+    pub fn slot(&self, slot: usize) -> LineView<'_, M> {
+        LineView { tag: LineAddr(self.tags[slot]), lru: self.lru[slot], meta: &self.meta[slot] }
     }
 
     /// Mutable access to a slot's metadata.
     #[inline]
     pub fn meta_mut(&mut self, slot: usize) -> &mut M {
-        &mut self.lines[slot].meta
+        &mut self.meta[slot]
     }
 
-    /// Invalidate a slot (metadata reset to default).
+    /// Invalidate a slot (metadata reset to default, tag pinned to the
+    /// sentinel so the slot can never alias a later probe).
     pub fn invalidate(&mut self, slot: usize) {
-        self.lines[slot].meta = M::default();
+        self.tags[slot] = INVALID_TAG;
+        self.meta[slot] = M::default();
     }
 
     /// Iterate over all slots with their flat ids.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Line<M>)> {
-        self.lines.iter().enumerate()
+    pub fn iter(&self) -> impl Iterator<Item = (usize, LineView<'_, M>)> {
+        (0..self.meta.len()).map(|i| (i, self.slot(i)))
     }
 
     /// Number of currently valid lines.
     pub fn valid_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.meta.is_valid()).count()
+        self.meta.iter().filter(|m| m.is_valid()).count()
     }
 
     /// Set index a flat slot id belongs to.
@@ -272,5 +303,21 @@ mod tests {
         // probe l0 (no LRU update): l0 stays LRU and must be evicted next.
         assert_eq!(a.probe(l0), LookupOutcome::Hit(v0));
         assert_eq!(a.victim(l2), v0);
+    }
+
+    #[test]
+    fn arena_round_trip_reuses_columns_and_resets_state() {
+        let mut arena = BankArena::default();
+        let geom = Geometry::new(512, 64, 2);
+        let mut a: SetAssocArray<V> = SetAssocArray::new_in(geom, &mut arena);
+        let line = geom.line_of(0x40);
+        let v = a.victim(line);
+        a.fill(v, line, V(true));
+        a.release_into(&mut arena);
+        let allocs = arena.stats().fresh_allocations;
+        let b: SetAssocArray<V> = SetAssocArray::new_in(geom, &mut arena);
+        assert_eq!(arena.stats().fresh_allocations, allocs, "columns reused");
+        assert_eq!(b.probe(line), LookupOutcome::Miss, "reused array starts empty");
+        assert_eq!(b.valid_count(), 0);
     }
 }

@@ -17,7 +17,17 @@
 //!   counted so `cmpleak-power` can charge the decay logic's dynamic
 //!   energy, and the counter storage contributes leakage.
 //!
-//! The bank is indexed by the flat slot id of `cmpleak_mem::SetAssocArray`.
+//! The per-line state itself — armed/live bits, saturating counters —
+//! lives in the columnar [`LineStateBank`]; `DecayBank` holds only the
+//! global-counter state (tick clock, activity stats) and the tick
+//! *policy*. The tick scan walks the bank's `live & armed` words in
+//! `u64×4` chunks, so a multi-MB cache with a small live set skips idle
+//! regions 256 lines per comparison instead of testing two `Vec<bool>`s
+//! line by line.
+//!
+//! Slots are the flat slot ids of `cmpleak_mem::SetAssocArray`.
+
+use crate::bank::LineStateBank;
 
 /// Configuration for one decay counter bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,35 +79,28 @@ pub struct DecayStats {
     pub decays: u64,
 }
 
-/// A bank of per-line decay counters for one cache.
+/// The global decay counter and tick policy for one cache.
+///
+/// Per-line storage (armed/live bits, counters) is the caller-owned
+/// [`LineStateBank`] passed to every operation; the same bank also
+/// carries the cache's Gated-Vdd state, so all per-line columns share
+/// one arena-backed allocation.
 #[derive(Debug, Clone)]
 pub struct DecayBank {
     cfg: DecayConfig,
-    counters: Vec<u8>,
-    armed: Vec<bool>,
-    /// Lines currently live (counting); a decayed or turned-off line stops
-    /// counting until rearmed by an access/fill.
-    live: Vec<bool>,
     next_tick: u64,
     stats: DecayStats,
 }
 
 impl DecayBank {
-    /// Create a bank covering `lines` slots. All lines start *not live*
-    /// (nothing to decay until a fill arms them) and *armed* (plain fixed
-    /// decay lets every line decay; Selective Decay manipulates the armed
-    /// bits explicitly).
-    pub fn new(lines: usize, cfg: DecayConfig) -> Self {
+    /// A decay clock with per-line state expected in the neutral
+    /// [`LineStateBank`] start: all lines *not live* (nothing decays
+    /// until a fill arms them) and *armed* (plain fixed decay lets every
+    /// line decay; Selective Decay manipulates armed bits explicitly).
+    pub fn new(cfg: DecayConfig) -> Self {
         assert!(cfg.counter_bits >= 1 && cfg.counter_bits <= 8, "counter bits in 1..=8");
         assert!(cfg.decay_cycles > 0, "decay interval must be positive");
-        Self {
-            next_tick: cfg.tick_period(),
-            cfg,
-            counters: vec![0; lines],
-            armed: vec![true; lines],
-            live: vec![false; lines],
-            stats: DecayStats::default(),
-        }
+        Self { next_tick: cfg.tick_period(), cfg, stats: DecayStats::default() }
     }
 
     /// The configuration in effect.
@@ -119,48 +122,19 @@ impl DecayBank {
     /// A line was accessed (hit or filled): reset its counter and mark it
     /// live so it participates in future ticks.
     #[inline]
-    pub fn on_access(&mut self, slot: usize) {
-        if self.counters[slot] != 0 {
+    pub fn on_access(&mut self, st: &mut LineStateBank, slot: usize) {
+        if st.counter(slot) != 0 {
             self.stats.resets += 1;
         }
-        self.counters[slot] = 0;
-        self.live[slot] = true;
+        st.set_counter(slot, 0);
+        st.set_live(slot);
     }
 
     /// The line was turned off or protocol-invalidated: stop counting it.
     #[inline]
-    pub fn on_line_off(&mut self, slot: usize) {
-        self.live[slot] = false;
-        self.counters[slot] = 0;
-    }
-
-    /// Arm decay for a line (Selective Decay: transition into S or E).
-    #[inline]
-    pub fn arm(&mut self, slot: usize) {
-        self.armed[slot] = true;
-    }
-
-    /// Disarm decay for a line (Selective Decay: transition into M).
-    /// The counter keeps its value but the line cannot decay while
-    /// disarmed.
-    #[inline]
-    pub fn disarm(&mut self, slot: usize) {
-        self.armed[slot] = false;
-    }
-
-    /// Whether the given line is currently armed.
-    #[inline]
-    pub fn is_armed(&self, slot: usize) -> bool {
-        self.armed[slot]
-    }
-
-    /// Whether the line is live (counting toward decay). A line that
-    /// decayed or was turned off stops being live until re-accessed; the
-    /// cache controller uses this to drop deferred turn-offs that an
-    /// access overtook.
-    #[inline]
-    pub fn is_live(&self, slot: usize) -> bool {
-        self.live[slot]
+    pub fn on_line_off(&mut self, st: &mut LineStateBank, slot: usize) {
+        st.clear_live(slot);
+        st.set_counter(slot, 0);
     }
 
     /// Advance to `now`, performing any global ticks that have become due,
@@ -170,9 +144,9 @@ impl DecayBank {
     /// processed in order; per-tick semantics are identical to hardware
     /// scanning all counters on the tick edge. This is the sequential
     /// reference that [`DecayBank::advance_to`] must match exactly.
-    pub fn advance(&mut self, now: u64, decayed: &mut Vec<usize>) {
+    pub fn advance(&mut self, st: &mut LineStateBank, now: u64, decayed: &mut Vec<usize>) {
         while self.next_tick <= now {
-            self.tick(decayed);
+            self.tick(st, decayed);
             self.next_tick += self.cfg.tick_period();
         }
     }
@@ -188,7 +162,7 @@ impl DecayBank {
     /// lexicographic, because each sequential tick scans slots in index
     /// order — are identical to [`DecayBank::advance`]; the equivalence
     /// is property-tested in `tests/properties.rs`.
-    pub fn advance_to(&mut self, now: u64, decayed: &mut Vec<usize>) {
+    pub fn advance_to(&mut self, st: &mut LineStateBank, now: u64, decayed: &mut Vec<usize>) {
         if self.next_tick > now {
             return;
         }
@@ -198,55 +172,145 @@ impl DecayBank {
         if k == 1 {
             // Common case (the caller advances every cycle or wakes at
             // each tick): one ordinary tick, no sort needed.
-            self.tick(decayed);
+            self.tick(st, decayed);
             return;
         }
         self.stats.ticks += k;
         let sat = self.cfg.saturation();
         let mut newly: Vec<(u64, usize)> = Vec::new();
-        for slot in 0..self.counters.len() {
-            if !self.live[slot] || !self.armed[slot] {
-                continue;
-            }
-            let c = self.counters[slot];
+        self.scan_tickable(st, |this, st, slot| {
+            let c = st.counter(slot);
             if c >= sat {
-                continue;
+                return;
             }
             let room = u64::from(sat - c);
             let applied = room.min(k);
-            self.counters[slot] = c + applied as u8;
-            self.stats.increments += applied;
+            st.set_counter(slot, c + applied as u8);
+            this.stats.increments += applied;
             if applied == room {
-                self.live[slot] = false;
-                self.stats.decays += 1;
+                st.clear_live(slot);
+                this.stats.decays += 1;
                 newly.push((room, slot));
             }
-        }
-        // Stable sort by decay tick: slots pushed in index order, so ties
-        // keep index order — the per-tick scan's emission order.
+        });
+        // Stable sort by decay tick: slots visited in index order, so
+        // ties keep index order — the per-tick scan's emission order.
         newly.sort_by_key(|&(tick_no, _)| tick_no);
         decayed.extend(newly.into_iter().map(|(_, slot)| slot));
     }
 
     /// Perform one global tick: increment every live, armed counter;
     /// saturated counters decay their line.
-    fn tick(&mut self, decayed: &mut Vec<usize>) {
+    ///
+    /// The hot path of every decay simulation: hand-specialised over the
+    /// packed words rather than routed through
+    /// [`DecayBank::scan_tickable`]'s callback, with a slice walk for
+    /// fully tickable words (a dense region costs one branchy increment
+    /// per slot, like the naive loop, instead of a per-bit extraction
+    /// chain) — semantics identical to the sequential per-slot scan.
+    fn tick(&mut self, st: &mut LineStateBank, decayed: &mut Vec<usize>) {
         self.stats.ticks += 1;
         let sat = self.cfg.saturation();
-        for slot in 0..self.counters.len() {
-            if !self.live[slot] || !self.armed[slot] {
+        let nw = st.word_count();
+        let mut w = 0;
+        while w < nw {
+            let end = (w + 4).min(nw);
+            let mut any = 0u64;
+            for i in w..end {
+                any |= st.tickable_word(i);
+            }
+            if any == 0 {
+                w = end;
                 continue;
             }
-            let c = &mut self.counters[slot];
-            if *c < sat {
-                *c += 1;
-                self.stats.increments += 1;
-                if *c == sat {
-                    self.live[slot] = false;
-                    self.stats.decays += 1;
-                    decayed.push(slot);
+            for i in w..end {
+                let mut bits = st.tickable_word(i);
+                if bits == !0u64 {
+                    let base = i * 64;
+                    // Saturations are rare per tick: collect them as a
+                    // bitmask during the slice walk, resolve after.
+                    let mut saturated = 0u64;
+                    let mut increments = 0u64;
+                    for (j, c) in st.counters_mut()[base..base + 64].iter_mut().enumerate() {
+                        if *c < sat {
+                            *c += 1;
+                            increments += 1;
+                            if *c == sat {
+                                saturated |= 1 << j;
+                            }
+                        }
+                    }
+                    self.stats.increments += increments;
+                    while saturated != 0 {
+                        let slot = base + saturated.trailing_zeros() as usize;
+                        saturated &= saturated - 1;
+                        st.clear_live(slot);
+                        self.stats.decays += 1;
+                        decayed.push(slot);
+                    }
+                    continue;
+                }
+                while bits != 0 {
+                    let slot = i * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let c = st.counter(slot);
+                    if c < sat {
+                        let c = c + 1;
+                        st.set_counter(slot, c);
+                        self.stats.increments += 1;
+                        if c == sat {
+                            st.clear_live(slot);
+                            self.stats.decays += 1;
+                            decayed.push(slot);
+                        }
+                    }
                 }
             }
+            w = end;
+        }
+    }
+
+    /// Visit every `live & armed` slot in ascending order, walking the
+    /// packed words in `u64×4` chunks so fully idle regions cost one OR
+    /// per 256 lines. Clearing the visited slot's live bit inside `f`
+    /// does not disturb the iteration (each word is snapshotted), which
+    /// is exactly the per-tick hardware semantics: the scan mask is
+    /// sampled at the tick edge.
+    fn scan_tickable(
+        &mut self,
+        st: &mut LineStateBank,
+        mut f: impl FnMut(&mut Self, &mut LineStateBank, usize),
+    ) {
+        let nw = st.word_count();
+        let mut w = 0;
+        while w < nw {
+            let end = (w + 4).min(nw);
+            let mut any = 0u64;
+            for i in w..end {
+                any |= st.tickable_word(i);
+            }
+            if any != 0 {
+                for i in w..end {
+                    let mut bits = st.tickable_word(i);
+                    if bits == !0u64 {
+                        // Dense fast path: a fully tickable word visits
+                        // its 64 slots directly, skipping the per-bit
+                        // extraction chain. `f` may clear live bits; the
+                        // snapshot semantics are unchanged (every slot of
+                        // the sampled mask is visited exactly once).
+                        for slot in i * 64..i * 64 + 64 {
+                            f(self, st, slot);
+                        }
+                        continue;
+                    }
+                    while bits != 0 {
+                        let slot = i * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        f(self, st, slot);
+                    }
+                }
+            }
+            w = end;
         }
     }
 }
@@ -255,10 +319,25 @@ impl DecayBank {
 mod tests {
     use super::*;
 
-    fn drain(bank: &mut DecayBank, now: u64) -> Vec<usize> {
-        let mut v = Vec::new();
-        bank.advance(now, &mut v);
-        v
+    struct Fixture {
+        bank: DecayBank,
+        st: LineStateBank,
+    }
+
+    fn fx(lines: usize, cfg: DecayConfig) -> Fixture {
+        Fixture { bank: DecayBank::new(cfg), st: LineStateBank::new(lines) }
+    }
+
+    impl Fixture {
+        fn drain(&mut self, now: u64) -> Vec<usize> {
+            let mut v = Vec::new();
+            self.bank.advance(&mut self.st, now, &mut v);
+            v
+        }
+
+        fn access(&mut self, slot: usize) {
+            self.bank.on_access(&mut self.st, slot);
+        }
     }
 
     #[test]
@@ -270,56 +349,57 @@ mod tests {
 
     #[test]
     fn untouched_live_line_decays_after_interval() {
-        let mut b = DecayBank::new(4, DecayConfig::fixed(4000));
-        b.on_access(2);
+        let mut f = fx(4, DecayConfig::fixed(4000));
+        f.access(2);
         // After 3 ticks (3000 cycles) not yet decayed; 4th tick saturates.
-        assert!(drain(&mut b, 3000).is_empty());
-        let d = drain(&mut b, 4000);
+        assert!(f.drain(3000).is_empty());
+        let d = f.drain(4000);
         assert_eq!(d, vec![2]);
-        assert_eq!(b.stats().decays, 1);
+        assert_eq!(f.bank.stats().decays, 1);
     }
 
     #[test]
     fn access_resets_the_countdown() {
-        let mut b = DecayBank::new(1, DecayConfig::fixed(4000));
-        b.on_access(0);
-        assert!(drain(&mut b, 3000).is_empty());
-        b.on_access(0); // reset at t=3000, on a tick boundary
-        assert!(drain(&mut b, 6000).is_empty(), "reset must defer decay");
-        let d = drain(&mut b, 7000);
+        let mut f = fx(1, DecayConfig::fixed(4000));
+        f.access(0);
+        assert!(f.drain(3000).is_empty());
+        f.access(0); // reset at t=3000, on a tick boundary
+        assert!(f.drain(6000).is_empty(), "reset must defer decay");
+        let d = f.drain(7000);
         assert_eq!(d, vec![0]);
     }
 
     #[test]
     fn non_live_lines_never_decay() {
-        let mut b = DecayBank::new(2, DecayConfig::fixed(1000));
+        let mut f = fx(2, DecayConfig::fixed(1000));
         // Slot 0 never accessed (not live); slot 1 accessed then turned off.
-        b.on_access(1);
-        b.on_line_off(1);
-        assert!(drain(&mut b, 100_000).is_empty());
-        assert_eq!(b.stats().decays, 0);
+        f.access(1);
+        let (bank, st) = (&mut f.bank, &mut f.st);
+        bank.on_line_off(st, 1);
+        assert!(f.drain(100_000).is_empty());
+        assert_eq!(f.bank.stats().decays, 0);
     }
 
     #[test]
     fn disarmed_lines_hold_without_decaying() {
-        let mut b = DecayBank::new(1, DecayConfig::fixed(1000));
-        b.on_access(0);
-        b.disarm(0);
-        assert!(drain(&mut b, 10_000).is_empty());
-        b.arm(0);
+        let mut f = fx(1, DecayConfig::fixed(1000));
+        f.access(0);
+        f.st.disarm(0);
+        assert!(f.drain(10_000).is_empty());
+        f.st.arm(0);
         // Counter was frozen at 0; decays one full interval after rearming.
-        let d = drain(&mut b, 11_000);
+        let d = f.drain(11_000);
         assert_eq!(d, vec![0]);
     }
 
     #[test]
     fn decayed_line_does_not_redecay_until_reaccessed() {
-        let mut b = DecayBank::new(1, DecayConfig::fixed(1000));
-        b.on_access(0);
-        assert_eq!(drain(&mut b, 1000), vec![0]);
-        assert!(drain(&mut b, 50_000).is_empty());
-        b.on_access(0);
-        assert_eq!(drain(&mut b, 51_000), vec![0]);
+        let mut f = fx(1, DecayConfig::fixed(1000));
+        f.access(0);
+        assert_eq!(f.drain(1000), vec![0]);
+        assert!(f.drain(50_000).is_empty());
+        f.access(0);
+        assert_eq!(f.drain(51_000), vec![0]);
     }
 
     #[test]
@@ -328,64 +408,60 @@ mod tests {
         // the effective interval is nominal minus the access phase —
         // within one tick period of nominal, exactly as in the
         // hierarchical-counter hardware.
-        let cfg = DecayConfig::fixed(4000); // ticks at 1000, 2000, ...
-        let mut b = DecayBank::new(1, cfg);
-        drain(&mut b, 1500);
-        b.on_access(0); // t = 1500; counter ticks at 2000/3000/4000/5000
-        assert!(drain(&mut b, 4999).is_empty());
-        let mut v = Vec::new();
-        b.advance(5000, &mut v);
-        assert_eq!(v, vec![0]);
+        let mut f = fx(1, DecayConfig::fixed(4000)); // ticks at 1000, 2000, ...
+        f.drain(1500);
+        f.access(0); // t = 1500; counter ticks at 2000/3000/4000/5000
+        assert!(f.drain(4999).is_empty());
+        assert_eq!(f.drain(5000), vec![0]);
     }
 
     #[test]
     fn stats_count_increments_and_resets() {
-        let mut b = DecayBank::new(2, DecayConfig::fixed(4000));
-        b.on_access(0);
-        b.on_access(1);
-        drain(&mut b, 2000); // two ticks: 2 increments per live line
-        assert_eq!(b.stats().increments, 4);
-        b.on_access(0); // nonzero counter -> reset counted
-        assert_eq!(b.stats().resets, 1);
+        let mut f = fx(2, DecayConfig::fixed(4000));
+        f.access(0);
+        f.access(1);
+        f.drain(2000); // two ticks: 2 increments per live line
+        assert_eq!(f.bank.stats().increments, 4);
+        f.access(0); // nonzero counter -> reset counted
+        assert_eq!(f.bank.stats().resets, 1);
     }
 
     #[test]
     fn advance_to_matches_sequential_ticks_including_order() {
         let cfg = DecayConfig::fixed(4000); // tick every 1000
-        let mut seq = DecayBank::new(8, cfg);
-        let mut bulk = DecayBank::new(8, cfg);
+        let mut seq = fx(8, cfg);
+        let mut bulk = fx(8, cfg);
         // Stagger accesses so slots saturate on different ticks, and
         // disarm one slot to exercise the armed gate.
         for (slot, t) in [(3usize, 0u64), (1, 0), (6, 1000), (0, 2000)] {
             let mut v = Vec::new();
-            seq.advance(t, &mut v);
+            seq.bank.advance(&mut seq.st, t, &mut v);
             let mut w = Vec::new();
-            bulk.advance_to(t, &mut w);
+            bulk.bank.advance_to(&mut bulk.st, t, &mut w);
             assert_eq!(v, w);
-            seq.on_access(slot);
-            bulk.on_access(slot);
+            seq.access(slot);
+            bulk.access(slot);
         }
-        seq.disarm(1);
-        bulk.disarm(1);
+        seq.st.disarm(1);
+        bulk.st.disarm(1);
         let mut v = Vec::new();
-        seq.advance(20_000, &mut v);
+        seq.bank.advance(&mut seq.st, 20_000, &mut v);
         let mut w = Vec::new();
-        bulk.advance_to(20_000, &mut w);
+        bulk.bank.advance_to(&mut bulk.st, 20_000, &mut w);
         assert_eq!(v, w, "bulk advance must emit the same slots in the same order");
-        assert_eq!(seq.stats(), bulk.stats());
-        assert_eq!(seq.next_tick_at(), bulk.next_tick_at());
+        assert_eq!(seq.bank.stats(), bulk.bank.stats());
+        assert_eq!(seq.bank.next_tick_at(), bulk.bank.next_tick_at());
         assert_eq!(v, vec![3, 6, 0], "earlier-accessed slots decay on earlier ticks");
     }
 
     #[test]
     fn advance_to_same_tick_ties_emit_in_slot_order() {
-        let cfg = DecayConfig::fixed(4000);
-        let mut b = DecayBank::new(5, cfg);
+        let mut f = fx(5, DecayConfig::fixed(4000));
         for slot in [4usize, 2, 0] {
-            b.on_access(slot);
+            f.access(slot);
         }
         let mut v = Vec::new();
-        b.advance_to(50_000, &mut v);
+        f.bank.advance_to(&mut f.st, 50_000, &mut v);
         assert_eq!(v, vec![0, 2, 4], "ties broken by slot index, like the per-tick scan");
     }
 
@@ -394,9 +470,24 @@ mod tests {
         let cfg = DecayConfig { decay_cycles: 4000, counter_bits: 1 };
         assert_eq!(cfg.tick_period(), 2000);
         assert_eq!(cfg.saturation(), 2);
-        let mut b = DecayBank::new(1, cfg);
-        b.on_access(0);
-        assert!(drain(&mut b, 2000).is_empty());
-        assert_eq!(drain(&mut b, 4000), vec![0]);
+        let mut f = fx(1, cfg);
+        f.access(0);
+        assert!(f.drain(2000).is_empty());
+        assert_eq!(f.drain(4000), vec![0]);
+    }
+
+    #[test]
+    fn word_chunked_scan_crosses_word_and_chunk_boundaries() {
+        // Slots straddling the u64 word and u64×4 chunk edges of a bank
+        // larger than one chunk: the scan must visit all of them in
+        // ascending order.
+        let mut f = fx(64 * 9, DecayConfig::fixed(4000));
+        let slots = [0usize, 63, 64, 255, 256, 257, 511, 512, 64 * 9 - 1];
+        for &s in &slots {
+            f.access(s);
+        }
+        assert!(f.drain(3000).is_empty());
+        assert_eq!(f.drain(4000), slots.to_vec());
+        assert_eq!(f.bank.stats().decays, slots.len() as u64);
     }
 }

@@ -15,7 +15,12 @@
 //!   which lines are allowed to decay,
 //! * [`ShadowTags`] — an always-on shadow tag directory used to classify
 //!   decay-induced misses (a miss that would have hit had no line ever
-//!   been turned off).
+//!   been turned off),
+//! * [`LineStateBank`] / [`BankArena`] — the columnar per-line state
+//!   layer: word-packed `u64` bitsets for the powered/armed/live bits
+//!   (popcount counting, `u64×4` chunked scans) plus dense
+//!   timestamp/counter columns, all checked out of an arena that reuses
+//!   the multi-MB allocations across simulations.
 //!
 //! Everything here is deterministic and allocation-free on the hot path;
 //! structures are sized once at construction (see the workspace DESIGN.md
@@ -23,13 +28,15 @@
 
 pub mod addr;
 pub mod array;
+pub mod bank;
 pub mod decay;
 pub mod mshr;
 pub mod shadow;
 pub mod write_buffer;
 
 pub use addr::{Geometry, LineAddr};
-pub use array::{Line, LookupOutcome, SetAssocArray};
+pub use array::{LineView, LookupOutcome, SetAssocArray};
+pub use bank::{ArenaStats, BankArena, BitSet, LineStateBank};
 pub use decay::{DecayBank, DecayConfig, DecayStats};
 pub use mshr::{Mshr, MshrAlloc, MshrEntry};
 pub use shadow::ShadowTags;

@@ -13,6 +13,7 @@
 
 use crate::addr::{Geometry, LineAddr};
 use crate::array::{LineMeta, LookupOutcome, SetAssocArray};
+use crate::bank::BankArena;
 
 #[derive(Default, Clone, Debug)]
 struct Present(bool);
@@ -33,6 +34,17 @@ impl ShadowTags {
     /// A shadow directory with the same geometry as the cache it mirrors.
     pub fn new(geom: Geometry) -> Self {
         Self { tags: SetAssocArray::new(geom) }
+    }
+
+    /// Like [`ShadowTags::new`], with the tag columns checked out of
+    /// `arena`.
+    pub fn new_in(geom: Geometry, arena: &mut BankArena) -> Self {
+        Self { tags: SetAssocArray::new_in(geom, arena) }
+    }
+
+    /// Return the arena-backed columns.
+    pub fn release_into(&mut self, arena: &mut BankArena) {
+        self.tags.release_into(arena);
     }
 
     /// Record an access (read or write) to `line`, updating shadow

@@ -3,8 +3,8 @@
 
 use cmpleak_mem::array::LineMeta;
 use cmpleak_mem::{
-    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray,
-    WriteBuffer,
+    DecayBank, DecayConfig, Geometry, LineAddr, LineStateBank, LookupOutcome, Mshr, MshrAlloc,
+    SetAssocArray, WriteBuffer,
 };
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -106,13 +106,14 @@ proptest! {
         let decay = 1u64 << decay_exp;
         let cfg = DecayConfig::fixed(decay);
         let tick = cfg.tick_period();
-        let mut bank = DecayBank::new(1, cfg);
+        let mut bank = DecayBank::new(cfg);
+        let mut st = LineStateBank::new(1);
         let mut sorted = accesses.clone();
         sorted.sort_unstable();
         let mut out = Vec::new();
         let mut last = 0u64;
         for t in sorted {
-            bank.advance(t, &mut out);
+            bank.advance(&mut st, t, &mut out);
             for &slot in &out {
                 prop_assert_eq!(slot, 0);
             }
@@ -122,12 +123,12 @@ proptest! {
                     "decayed at {t}, last access {last}, window {decay}±{tick}");
                 out.clear();
             }
-            bank.on_access(0);
+            bank.on_access(&mut st, 0);
             last = t;
         }
         // Untouched line decays within one window past last access.
         let mut fired = Vec::new();
-        bank.advance(last + decay + tick, &mut fired);
+        bank.advance(&mut st, last + decay + tick, &mut fired);
         prop_assert_eq!(fired, vec![0usize], "line must decay after going idle");
     }
 
@@ -143,8 +144,10 @@ proptest! {
         bits in 1u32..4,
     ) {
         let cfg = DecayConfig { decay_cycles: 1 << decay_exp, counter_bits: bits };
-        let mut seq = DecayBank::new(8, cfg);
-        let mut bulk = DecayBank::new(8, cfg);
+        let mut seq = DecayBank::new(cfg);
+        let mut seq_st = LineStateBank::new(8);
+        let mut bulk = DecayBank::new(cfg);
+        let mut bulk_st = LineStateBank::new(8);
         let mut now = 0u64;
         for (slot, dt, op) in ops {
             now += dt;
@@ -152,20 +155,21 @@ proptest! {
             // Sequential reference ticks one by one; bulk jumps straight
             // to `now` in closed form. Fired slots must match exactly.
             let mut a = Vec::new();
-            seq.advance(now, &mut a);
+            seq.advance(&mut seq_st, now, &mut a);
             let mut b = Vec::new();
-            bulk.advance_to(now, &mut b);
+            bulk.advance_to(&mut bulk_st, now, &mut b);
             prop_assert_eq!(&a, &b, "divergent decay emission at t={}", now);
             prop_assert_eq!(seq.stats(), bulk.stats());
             prop_assert_eq!(seq.next_tick_at(), bulk.next_tick_at());
             match op {
-                0 => { seq.on_access(slot); bulk.on_access(slot); }
-                1 => { seq.arm(slot); bulk.arm(slot); }
-                2 => { seq.disarm(slot); bulk.disarm(slot); }
-                _ => { seq.on_line_off(slot); bulk.on_line_off(slot); }
+                0 => { seq.on_access(&mut seq_st, slot); bulk.on_access(&mut bulk_st, slot); }
+                1 => { seq_st.arm(slot); bulk_st.arm(slot); }
+                2 => { seq_st.disarm(slot); bulk_st.disarm(slot); }
+                _ => { seq.on_line_off(&mut seq_st, slot); bulk.on_line_off(&mut bulk_st, slot); }
             }
-            prop_assert_eq!(seq.is_live(slot), bulk.is_live(slot));
-            prop_assert_eq!(seq.is_armed(slot), bulk.is_armed(slot));
+            prop_assert_eq!(seq_st.is_live(slot), bulk_st.is_live(slot));
+            prop_assert_eq!(seq_st.is_armed(slot), bulk_st.is_armed(slot));
+            prop_assert_eq!(seq_st.counter(slot), bulk_st.counter(slot));
         }
     }
 

@@ -13,7 +13,7 @@
 
 use crate::config::L1Config;
 use crate::stats::L1Stats;
-use cmpleak_mem::{Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray};
+use cmpleak_mem::{BankArena, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray};
 
 /// Per-line metadata: presence only (the L1 carries no dirty bit — it is
 /// write-through — and no MESI state — the L2 enforces coherence).
@@ -59,13 +59,25 @@ pub struct L1Cache {
 }
 
 impl L1Cache {
-    /// Build from configuration.
+    /// Build from configuration, allocating fresh storage.
     pub fn new(cfg: &L1Config) -> Self {
+        Self::new_in(cfg, &mut BankArena::default())
+    }
+
+    /// Like [`L1Cache::new`], with the tag columns checked out of
+    /// `arena` for reuse across simulations.
+    pub fn new_in(cfg: &L1Config, arena: &mut BankArena) -> Self {
         Self {
-            tags: SetAssocArray::new(cfg.geometry()),
+            tags: SetAssocArray::new_in(cfg.geometry(), arena),
             mshr: Mshr::new(cfg.mshr_entries, cfg.mshr_entries * 4),
             stats: L1Stats::default(),
         }
+    }
+
+    /// Hand the tag columns back to `arena`; the cache must not be used
+    /// afterwards (statistics remain readable).
+    pub fn release_storage(&mut self, arena: &mut BankArena) {
+        self.tags.release_into(arena);
     }
 
     /// Geometry of the tag array.

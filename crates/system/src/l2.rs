@@ -25,8 +25,8 @@ use crate::stats::L2Stats;
 use cmpleak_coherence::mesi::{fill_state, step, Event, MesiState, SnoopContext, Transition};
 use cmpleak_coherence::{bus::SnoopKind, DecayArming, Technique};
 use cmpleak_mem::{
-    DecayBank, DecayConfig, Geometry, LineAddr, LookupOutcome, Mshr, MshrAlloc, SetAssocArray,
-    ShadowTags,
+    BankArena, DecayBank, DecayConfig, Geometry, LineAddr, LineStateBank, LookupOutcome, Mshr,
+    MshrAlloc, SetAssocArray, ShadowTags,
 };
 
 /// Per-line metadata.
@@ -152,13 +152,13 @@ pub struct L2Cache {
     tags: SetAssocArray<L2Meta>,
     mshr: Mshr<L2Target>,
     flags: Vec<(LineAddr, MissFlags)>,
+    /// Global decay clock + tick policy (per-line state lives in
+    /// [`L2Cache::state`]).
     decay: Option<DecayBank>,
     shadow: Option<ShadowTags>,
-    /// Gating state per slot.
-    powered: Vec<bool>,
-    powered_since: Vec<u64>,
-    on_cycles: Vec<u64>,
-    powered_count: u64,
+    /// Columnar per-line state: powered/armed/live bitsets, decay
+    /// counters, on-time accounting — one arena-backed bank.
+    state: LineStateBank,
     /// Turn-offs that had to wait (transient line / pending write).
     deferred_turnoffs: Vec<usize>,
     stats: L2Stats,
@@ -166,32 +166,51 @@ pub struct L2Cache {
 }
 
 impl L2Cache {
-    /// Build one private L2 under `technique`.
+    /// Build one private L2 under `technique`, allocating fresh storage.
     pub fn new(cfg: &L2Config, technique: Technique, shadow: bool) -> Self {
+        Self::new_in(cfg, technique, shadow, &mut BankArena::default())
+    }
+
+    /// Like [`L2Cache::new`], with every per-line column (line-state
+    /// bank, tag array, shadow directory) checked out of `arena` so
+    /// back-to-back simulations reuse the multi-MB allocations.
+    pub fn new_in(
+        cfg: &L2Config,
+        technique: Technique,
+        shadow: bool,
+        arena: &mut BankArena,
+    ) -> Self {
         let geom = cfg.geometry();
         let lines = geom.lines();
         let decay = technique.decay_cycles().map(|d| {
-            DecayBank::new(
-                lines,
-                DecayConfig { decay_cycles: d, counter_bits: cfg.decay_counter_bits },
-            )
+            DecayBank::new(DecayConfig { decay_cycles: d, counter_bits: cfg.decay_counter_bits })
         });
-        let cold_gated = technique.gates_cold_lines();
+        let mut state = LineStateBank::new_in(lines, arena);
+        if !technique.gates_cold_lines() {
+            state.power_all_on();
+        }
         Self {
             cfg: *cfg,
             technique,
-            tags: SetAssocArray::new(geom),
+            tags: SetAssocArray::new_in(geom, arena),
             mshr: Mshr::new(cfg.mshr_entries, cfg.mshr_entries * 4),
             flags: Vec::new(),
             decay,
-            shadow: shadow.then(|| ShadowTags::new(geom)),
-            powered: vec![!cold_gated; lines],
-            powered_since: vec![0; lines],
-            on_cycles: vec![0; lines],
-            powered_count: if cold_gated { 0 } else { lines as u64 },
+            shadow: shadow.then(|| ShadowTags::new_in(geom, arena)),
+            state,
             deferred_turnoffs: Vec::new(),
             stats: L2Stats::default(),
             decay_scratch: Vec::new(),
+        }
+    }
+
+    /// Hand the per-line columns back to `arena`. The cache must not be
+    /// used afterwards (statistics remain readable).
+    pub fn release_storage(&mut self, arena: &mut BankArena) {
+        self.state.release_into(arena);
+        self.tags.release_into(arena);
+        if let Some(sh) = self.shadow.as_mut() {
+            sh.release_into(arena);
         }
     }
 
@@ -212,7 +231,7 @@ impl L2Cache {
 
     /// Lines currently powered (for the interval activity trace).
     pub fn powered_lines(&self) -> u64 {
-        self.powered_count
+        self.state.powered_count()
     }
 
     /// Whether the line is resident in a stationary valid state.
@@ -278,45 +297,32 @@ impl L2Cache {
     // ---- gating ---------------------------------------------------------
 
     fn power_on(&mut self, slot: usize, now: u64) {
-        if !self.powered[slot] {
-            self.powered[slot] = true;
-            self.powered_since[slot] = now;
-            self.powered_count += 1;
-        }
+        self.state.power_on(slot, now);
     }
 
     fn power_off(&mut self, slot: usize, now: u64) {
-        if self.powered[slot] {
-            self.powered[slot] = false;
-            self.on_cycles[slot] += now - self.powered_since[slot];
-            self.powered_count -= 1;
-        }
+        self.state.power_off(slot, now);
     }
 
-    /// Close the books at `now`: Σ on-cycles over all slots.
+    /// Close the books at `now`: Σ on-cycles over all slots
+    /// (word-chunked over the powered bitset).
     pub fn finish_on_cycles(&mut self, now: u64) -> u64 {
-        for slot in 0..self.powered.len() {
-            if self.powered[slot] {
-                self.on_cycles[slot] += now - self.powered_since[slot];
-                self.powered_since[slot] = now;
-            }
-        }
-        self.on_cycles.iter().sum()
+        self.state.finish_on_cycles(now)
     }
 
     // ---- decay hooks ----------------------------------------------------
 
     fn decay_access(&mut self, slot: usize) {
         if let Some(d) = self.decay.as_mut() {
-            d.on_access(slot);
+            d.on_access(&mut self.state, slot);
         }
     }
 
     fn apply_arming(&mut self, slot: usize, state: MesiState) {
-        if let Some(d) = self.decay.as_mut() {
+        if self.decay.is_some() {
             match self.technique.arming_on_enter(state) {
-                DecayArming::Arm => d.arm(slot),
-                DecayArming::Disarm => d.disarm(slot),
+                DecayArming::Arm => self.state.arm(slot),
+                DecayArming::Disarm => self.state.disarm(slot),
                 DecayArming::Unchanged => {}
             }
         }
@@ -330,7 +336,7 @@ impl L2Cache {
     pub fn take_decayed(&mut self, now: u64) -> Vec<usize> {
         self.decay_scratch.clear();
         if let Some(d) = self.decay.as_mut() {
-            d.advance_to(now, &mut self.decay_scratch);
+            d.advance_to(&mut self.state, now, &mut self.decay_scratch);
         }
         std::mem::take(&mut self.decay_scratch)
     }
@@ -384,7 +390,7 @@ impl L2Cache {
             if next == MesiState::Invalid {
                 self.tags.invalidate(slot);
                 if let Some(d) = self.decay.as_mut() {
-                    d.on_line_off(slot);
+                    d.on_line_off(&mut self.state, slot);
                 }
                 if t.protocol_invalidation {
                     self.stats.snoop_invalidations += 1;
@@ -514,6 +520,39 @@ impl L2Cache {
         }
     }
 
+    /// Whether [`L2Cache::probe_write`] for `line` would return
+    /// [`L2WriteOutcome::Retry`] — the non-mutating mirror of its retry
+    /// conditions (transient line, or MSHR unable to accept). Used by
+    /// the quiescence-skipping kernel: while the head of a write drain
+    /// provably keeps retrying, the cache's state can only change
+    /// through events or bus grants, which are wakeup sources, so the
+    /// blocked span can be skipped.
+    pub fn write_would_retry(&self, line: LineAddr) -> bool {
+        match self.tags.probe(line) {
+            LookupOutcome::Hit(slot) => {
+                let state = self.tags.slot(slot).meta.state;
+                if !state.is_stationary() {
+                    return true;
+                }
+                match state {
+                    // M hit / silent E→M upgrade always complete.
+                    MesiState::Modified | MesiState::Exclusive => false,
+                    // S hit needs an MSHR entry for the upgrade.
+                    MesiState::Shared => !self.mshr.would_accept(line),
+                    _ => unreachable!("stationary check above"),
+                }
+            }
+            LookupOutcome::Miss => !self.mshr.would_accept(line),
+        }
+    }
+
+    /// Account `cycles` retried probes in one step: the per-cycle loop
+    /// re-probes a blocked write head every cycle, counting one retry
+    /// each; a skipped blocked span charges them in bulk.
+    pub fn charge_retries(&mut self, cycles: u64) {
+        self.stats.retries += cycles;
+    }
+
     /// Account a primary miss, classifying it against the shadow
     /// directory *before* updating it.
     fn note_miss(&mut self, line: LineAddr) {
@@ -590,10 +629,8 @@ impl L2Cache {
         }
         // A deferred turn-off may have been overtaken by an access that
         // reset the decay counter — drop it then.
-        if let Some(d) = self.decay.as_ref() {
-            if d.is_live(slot) {
-                return;
-            }
+        if self.decay.is_some() && self.state.is_live(slot) {
+            return;
         }
         let ctx = SnoopContext { upper_has_copy: l.meta.in_l1, pending_write: false };
         if state == MesiState::Modified {

@@ -29,4 +29,10 @@ pub mod system;
 
 pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig, SimKernel};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
-pub use system::{run_simulation, run_simulation_with_scratch, CmpSystem, SimScratch};
+pub use system::{
+    run_simulation, run_simulation_with_scratch, CmpSystem, EventQueueStats, SimScratch,
+};
+
+// Re-exported so scratch-pool consumers can read arena counters without
+// depending on `cmpleak-mem` directly.
+pub use cmpleak_mem::ArenaStats;

@@ -25,28 +25,31 @@
 //!   the reference;
 //! * **quiescence-skipping** (default) — before stepping, the kernel
 //!   checks whether any component can make progress *this* cycle. A cycle
-//!   is *quiet* when no event is due, the bus cannot grant, all L2 port
-//!   queues (read queues, write buffers, retry queues) are empty, no
-//!   decay tick or deferred turn-off is due, and every core is blocked
-//!   (drained, window-full behind an incomplete load, or spinning on a
-//!   load the L1 provably keeps refusing). Quiet cycles change nothing
-//!   except time, the powered-lines integral and per-core stall
-//!   counters — all linear in the span — so the kernel advances `now`
-//!   directly to the next wakeup: the earliest of (next event, bus
-//!   grant/drain horizon, decay tick, sampling-interval boundary). The
-//!   skipped span provably contains no activity, the leakage integral is
-//!   advanced by `powered × span`, and blocked cores are bulk-charged
-//!   their stall cycles — hence bit-identity, enforced by
+//!   is *quiet* when no event is due, the bus cannot grant, all L2 read
+//!   queues are empty, any pending write drain is provably stuck (the
+//!   head of the retry queue / write buffer would be refused by the L2 —
+//!   a state only an event or bus grant can change), no decay tick or
+//!   deferred turn-off is due, and every core is blocked (drained,
+//!   window-full behind an incomplete load, or spinning on a load/store
+//!   the hierarchy provably keeps refusing). Quiet cycles change nothing
+//!   except time, the powered-lines integral and constant per-cycle
+//!   stall counters (core stalls, write-buffer full-stalls, the blocked
+//!   drain head's L2 retries) — all linear in the span — so the kernel
+//!   advances `now` directly to the next wakeup: the earliest of (next
+//!   event, bus grant/drain horizon, decay tick, sampling-interval
+//!   boundary). The skipped span provably contains no activity, the
+//!   leakage integral is advanced by `powered × span`, and the blocked
+//!   components are bulk-charged — hence bit-identity, enforced by
 //!   `tests/kernel_differential.rs` and the golden sweep snapshot.
 
 use crate::bus::{BusReq, BusReqKind, SharedBus};
-use crate::config::{CmpConfig, SimKernel};
+use crate::config::{CmpConfig, MemConfig, SimKernel};
 use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
 use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
 use crate::stats::{IntervalActivity, SimStats};
 use cmpleak_coherence::bus::SnoopKind;
 use cmpleak_cpu::{CoreModel, CorePort, ProgressState, StallKind, Workload};
-use cmpleak_mem::{Geometry, LineAddr, WriteBuffer};
+use cmpleak_mem::{ArenaStats, BankArena, Geometry, LineAddr, WriteBuffer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -62,35 +65,59 @@ enum EvKind {
     Grant { core: usize, slot: usize, line: LineAddr },
 }
 
-/// Buckets in the delayed queue's ring: events within this horizon of
-/// the cursor sit in per-cycle buckets; farther ones wait in an overflow
-/// heap and migrate as the window slides.
-const EVENT_BUCKETS: usize = 1024;
+/// Minimum (and default) bucket-ring window of the delayed event queue.
+const MIN_EVENT_WINDOW: usize = 1024;
+
+/// Cap on the adaptive window: bounds the ring at 16 K buckets even for
+/// extreme memory latencies (everything farther uses the overflow heap).
+const MAX_EVENT_WINDOW: usize = 16 * 1024;
+
+/// Occupancy counters of the bucketed event queue, exposed for tuning
+/// (ROADMAP "calendar-queue tuning"): how often events landed in the
+/// ring vs. spilled to the overflow heap, and how many spilled events
+/// had to migrate back as the window slid. Debug/diagnostic only — the
+/// two kernels advance the cursor differently, so these counters are
+/// *not* part of the bit-identity contract and never enter `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventQueueStats {
+    /// Bucket-ring window in cycles (sized from the memory latency).
+    pub window: u64,
+    /// Events pushed directly into a ring bucket.
+    pub ring_pushes: u64,
+    /// Events pushed beyond the window into the overflow heap.
+    pub overflow_pushes: u64,
+    /// Overflow events migrated into buckets as the cursor advanced.
+    pub overflow_migrations: u64,
+}
 
 /// Bucketed delayed event queue (calendar-queue style).
 ///
-/// The ring covers the window `[cursor, cursor + EVENT_BUCKETS)`; within
-/// it, every pending event's cycle maps to a *unique* bucket, so a
-/// bucket holds the events of exactly one cycle in push (FIFO) order and
-/// an occupancy bitmap finds the earliest pending cycle in a few word
+/// The ring covers the window `[cursor, cursor + window)`; within it,
+/// every pending event's cycle maps to a *unique* bucket, so a bucket
+/// holds the events of exactly one cycle in push (FIFO) order and an
+/// occupancy bitmap finds the earliest pending cycle in a few word
 /// scans — O(1) push/pop against the reference `BinaryHeap`'s O(log n),
 /// with no per-event ordering key. Events beyond the window go to a
 /// sequence-numbered overflow heap and migrate into buckets when the
 /// cursor advances, *before* any same-cycle direct push can happen, so
 /// FIFO order per cycle is preserved end to end. Pop order is therefore
-/// identical to the heap's `(cycle, push-sequence)` order.
+/// identical to the heap's `(cycle, push-sequence)` order — for *any*
+/// window size, which is why the window can adapt per run: it is sized
+/// at construction from the configured memory latency
+/// ([`EventQueue::window_for`]) so the common `DataReady` horizon lands
+/// in the ring instead of churning through the overflow heap.
 #[derive(Debug)]
 struct EventQueue {
     buckets: Vec<VecDeque<(u64, EvKind)>>,
     /// One bit per bucket: non-empty.
-    occ: [u64; EVENT_BUCKETS / 64],
-    /// Events at `cycle >= cursor + EVENT_BUCKETS`, ordered by
-    /// `(cycle, seq)`.
+    occ: Vec<u64>,
+    /// Events at `cycle >= cursor + window`, ordered by `(cycle, seq)`.
     overflow: BinaryHeap<Reverse<(u64, u64, EvKind)>>,
     /// Window base; no pending event is earlier. Advances monotonically.
     cursor: u64,
     seq: u64,
     in_buckets: usize,
+    stats: EventQueueStats,
 }
 
 impl Default for EventQueue {
@@ -101,44 +128,79 @@ impl Default for EventQueue {
 
 impl EventQueue {
     fn new() -> Self {
+        Self::with_window(MIN_EVENT_WINDOW)
+    }
+
+    fn with_window(window: usize) -> Self {
+        assert!(window.is_power_of_two(), "bucket math relies on a power-of-two window");
         Self {
-            buckets: vec![VecDeque::new(); EVENT_BUCKETS],
-            occ: [0; EVENT_BUCKETS / 64],
+            buckets: vec![VecDeque::new(); window],
+            occ: vec![0; window / 64],
             overflow: BinaryHeap::new(),
             cursor: 0,
             seq: 0,
             in_buckets: 0,
+            stats: EventQueueStats { window: window as u64, ..Default::default() },
         }
     }
 
-    /// Empty the queue for reuse, keeping the ring's allocations.
-    fn reset(&mut self) {
+    /// Ring window covering the configured memory round-trip (latency +
+    /// one channel service slot), so fills land in buckets even under a
+    /// slow memory; clamped to `[MIN, MAX]_EVENT_WINDOW` and rounded to
+    /// a power of two for the index mask.
+    fn window_for(mem: &MemConfig) -> usize {
+        (mem.latency + mem.service + 1)
+            .next_power_of_two()
+            .clamp(MIN_EVENT_WINDOW as u64, MAX_EVENT_WINDOW as u64) as usize
+    }
+
+    /// Empty the queue for reuse, keeping the ring's allocations when
+    /// the window is unchanged (a different window resizes it).
+    fn reset(&mut self, window: usize) {
+        assert!(window.is_power_of_two());
+        if window != self.buckets.len() {
+            self.buckets.resize(window, VecDeque::new());
+            self.occ.resize(window / 64, 0);
+        }
         for b in &mut self.buckets {
             b.clear();
         }
-        self.occ = [0; EVENT_BUCKETS / 64];
+        self.occ.fill(0);
         self.overflow.clear();
         self.cursor = 0;
         self.seq = 0;
         self.in_buckets = 0;
+        self.stats = EventQueueStats { window: window as u64, ..Default::default() };
     }
 
     #[inline]
-    fn bucket_index(at: u64) -> usize {
-        (at % EVENT_BUCKETS as u64) as usize
+    fn window(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    #[inline]
+    fn bucket_index(&self, at: u64) -> usize {
+        (at as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Accumulated ring/overflow occupancy counters.
+    fn stats(&self) -> EventQueueStats {
+        self.stats
     }
 
     fn push(&mut self, at: u64, kind: EvKind) {
         debug_assert!(at >= self.cursor, "events are never scheduled in the past");
         self.seq += 1;
-        if at < self.cursor + EVENT_BUCKETS as u64 {
-            let idx = Self::bucket_index(at);
+        if at < self.cursor + self.window() {
+            let idx = self.bucket_index(at);
             debug_assert!(self.buckets[idx].back().is_none_or(|&(t, _)| t == at));
             self.buckets[idx].push_back((at, kind));
             self.occ[idx / 64] |= 1 << (idx % 64);
             self.in_buckets += 1;
+            self.stats.ring_pushes += 1;
         } else {
             self.overflow.push(Reverse((at, self.seq, kind)));
+            self.stats.overflow_pushes += 1;
         }
     }
 
@@ -150,14 +212,15 @@ impl EventQueue {
         }
         self.cursor = to;
         while let Some(&Reverse((at, _, _))) = self.overflow.peek() {
-            if at >= self.cursor + EVENT_BUCKETS as u64 {
+            if at >= self.cursor + self.window() {
                 break;
             }
             let Reverse((at, _, kind)) = self.overflow.pop().expect("peeked");
-            let idx = Self::bucket_index(at);
+            let idx = self.bucket_index(at);
             self.buckets[idx].push_back((at, kind));
             self.occ[idx / 64] |= 1 << (idx % 64);
             self.in_buckets += 1;
+            self.stats.overflow_migrations += 1;
         }
     }
 
@@ -168,15 +231,15 @@ impl EventQueue {
         if self.in_buckets == 0 {
             return None;
         }
-        const WORDS: usize = EVENT_BUCKETS / 64;
-        let start = Self::bucket_index(self.cursor);
+        let words = self.occ.len();
+        let start = self.bucket_index(self.cursor);
         let (sw, sb) = (start / 64, start % 64);
-        for i in 0..=WORDS {
-            let w = (sw + i) % WORDS;
+        for i in 0..=words {
+            let w = (sw + i) % words;
             let mut bits = self.occ[w];
             if i == 0 {
                 bits &= !0u64 << sb;
-            } else if i == WORDS {
+            } else if i == words {
                 bits &= !(!0u64 << sb);
             }
             if bits != 0 {
@@ -211,7 +274,7 @@ impl EventQueue {
         }
         if let Some(t) = self.next_bucket_at() {
             if t <= now {
-                let idx = Self::bucket_index(t);
+                let idx = self.bucket_index(t);
                 let (at, kind) = self.buckets[idx].pop_front().expect("occupied bucket");
                 debug_assert_eq!(at, t);
                 if self.buckets[idx].is_empty() {
@@ -347,17 +410,34 @@ struct Snapshot {
 }
 
 /// Reusable allocation pools for repeated simulations (e.g. one per
-/// sweep worker): the event queue's bucket ring, the side-effect buffers
-/// and the per-core queues survive across runs instead of being
-/// reallocated for every grid cell. Pass to
-/// [`run_simulation_with_scratch`]; a default-constructed scratch is
-/// simply empty pools.
+/// sweep worker): the event queue's bucket ring, the side-effect
+/// buffers, the per-core queues *and* the multi-MB per-line columns
+/// (tag arrays, line-state banks, shadow directories — via the
+/// [`BankArena`]) survive across runs instead of being reallocated for
+/// every grid cell. Pass to [`run_simulation_with_scratch`]; a
+/// default-constructed scratch is simply empty pools.
 #[derive(Debug, Default)]
 pub struct SimScratch {
     events: EventQueue,
     fx: SideEffects,
     read_queues: Vec<VecDeque<LineAddr>>,
     write_retries: Vec<RetryQueue>,
+    arena: BankArena,
+}
+
+impl SimScratch {
+    /// Allocation counters of the per-line-state arena (how many column
+    /// checkouts were served from the pool vs. freshly allocated).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Ring/overflow occupancy counters of the event queue from the most
+    /// recently *completed* run (the queue is handed back on reclaim and
+    /// its counters reset when the next run starts).
+    pub fn event_queue_stats(&self) -> EventQueueStats {
+        self.events.stats()
+    }
 }
 
 /// The simulated CMP.
@@ -374,6 +454,10 @@ pub struct CmpSystem {
     read_queues: Vec<VecDeque<LineAddr>>,
     write_retries: Vec<RetryQueue>,
     fx: SideEffects,
+    /// Owns the caches' per-line columns between runs; adopted from the
+    /// scratch at construction, handed back (with the columns released)
+    /// at reclaim.
+    arena: BankArena,
     // accounting
     loads_completed: u64,
     load_latency_sum: u64,
@@ -429,14 +513,15 @@ impl CmpSystem {
         assert_eq!(workloads.len(), cfg.n_cores, "one workload per core");
         let cores =
             (0..cfg.n_cores).map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core)).collect();
-        let l1s = (0..cfg.n_cores).map(|_| L1Cache::new(&cfg.l1)).collect();
+        let mut arena = std::mem::take(&mut scratch.arena);
+        let l1s = (0..cfg.n_cores).map(|_| L1Cache::new_in(&cfg.l1, &mut arena)).collect();
         let wbs = (0..cfg.n_cores).map(|_| WriteBuffer::new(cfg.l1.write_buffer)).collect();
         let l2s = (0..cfg.n_cores)
-            .map(|_| L2Cache::new(&cfg.l2, cfg.technique, cfg.shadow_tags))
+            .map(|_| L2Cache::new_in(&cfg.l2, cfg.technique, cfg.shadow_tags, &mut arena))
             .collect();
         let bus = SharedBus::new(cfg.bus, cfg.mem, cfg.l2.line_bytes);
         let mut events = std::mem::take(&mut scratch.events);
-        events.reset();
+        events.reset(EventQueue::window_for(&cfg.mem));
         let mut fx = std::mem::take(&mut scratch.fx);
         fx.clear();
         let mut read_queues = std::mem::take(&mut scratch.read_queues);
@@ -467,6 +552,7 @@ impl CmpSystem {
             interval_start: 0,
             struct_dirty: true,
             struct_quiet: false,
+            arena,
             cfg,
         }
     }
@@ -486,6 +572,12 @@ impl CmpSystem {
     pub fn run(mut self) -> SimStats {
         self.run_loop();
         self.finalize()
+    }
+
+    /// Event-queue occupancy counters (diagnostics; see
+    /// [`EventQueueStats`]).
+    pub fn event_queue_stats(&self) -> EventQueueStats {
+        self.events.stats()
     }
 
     fn run_loop(&mut self) {
@@ -576,12 +668,19 @@ impl CmpSystem {
             return None;
         }
         for core in 0..self.cfg.n_cores {
-            if !self.read_queues[core].is_empty()
-                || !self.wbs[core].is_empty()
-                || !self.write_retries[core].is_empty()
-                || self.l2s[core].has_deferred_turnoffs()
-            {
+            if !self.read_queues[core].is_empty() || self.l2s[core].has_deferred_turnoffs() {
                 return None;
+            }
+            // A pending write drain blocks the span only if the L2
+            // provably keeps refusing its head (retry queue first, then
+            // the write buffer — the order the port loop serves). The
+            // refusal is stable until an event or bus grant — both
+            // wakeup sources — so blocked-on-reject write bursts no
+            // longer force per-cycle stepping.
+            if let Some(line) = self.write_retries[core].front().or_else(|| self.wbs[core].head()) {
+                if !self.l2s[core].write_would_retry(line) {
+                    return None;
+                }
             }
             if self.l2s[core].next_decay_deadline().is_some_and(|t| t <= self.now) {
                 return None;
@@ -593,6 +692,15 @@ impl CmpSystem {
                     // retried load (its state is frozen until an event).
                     let line = self.cfg.l1.geometry().line_of(addr);
                     if !self.l1s[core].load_would_refuse(line) {
+                        return None;
+                    }
+                }
+                ProgressState::RetryStore(addr) => {
+                    // Blocked only if the write buffer keeps refusing —
+                    // it is full, not coalescing, and (vetted above) its
+                    // drain head cannot make progress either.
+                    let line = self.cfg.l1.geometry().line_of(addr);
+                    if !self.wbs[core].store_would_refuse(line) {
                         return None;
                     }
                 }
@@ -628,17 +736,33 @@ impl CmpSystem {
     /// [`CmpSystem::quiescent_wakeup`]: charge the powered-lines leakage
     /// integral as value × elapsed span (every component's powered count
     /// is frozen) and bulk-charge each blocked core the stall statistics
-    /// its per-cycle ticks would have accrued.
+    /// its per-cycle ticks would have accrued — including, for a core
+    /// spinning on a refused store, the write buffer's full-stall count,
+    /// and for any core with a blocked write drain, the one L2 retry its
+    /// head probe would have accrued each cycle.
     fn advance_quiet(&mut self, target: u64) {
         let span = target - self.now;
         let powered: u64 = self.l2s.iter().map(|l| l.powered_lines()).sum();
         self.interval_powered += powered * span;
-        for core in &mut self.cores {
-            match core.progress_state() {
+        for core in 0..self.cfg.n_cores {
+            match self.cores[core].progress_state() {
                 ProgressState::Idle => {}
-                ProgressState::WindowBlocked => core.charge_stall_cycles(StallKind::Window, span),
-                ProgressState::RetryLoad(_) => core.charge_stall_cycles(StallKind::Reject, span),
+                ProgressState::WindowBlocked => {
+                    self.cores[core].charge_stall_cycles(StallKind::Window, span)
+                }
+                ProgressState::RetryLoad(_) => {
+                    self.cores[core].charge_stall_cycles(StallKind::Reject, span)
+                }
+                ProgressState::RetryStore(_) => {
+                    self.cores[core].charge_stall_cycles(StallKind::Reject, span);
+                    self.wbs[core].charge_full_stalls(span);
+                }
                 ProgressState::Ready => unreachable!("quiescence check vetted all cores"),
+            }
+            if self.write_retries[core].front().or_else(|| self.wbs[core].head()).is_some() {
+                // The port loop re-probes the blocked head once per
+                // cycle, counting one retry each time.
+                self.l2s[core].charge_retries(span);
             }
         }
         self.now = target;
@@ -837,11 +961,14 @@ impl CmpSystem {
             } else {
                 break;
             };
-            work = true;
             let outcome = self.issue_write_probe_inner(core, line);
             match outcome {
+                // A retried head changes nothing structural (one retry
+                // counter tick only): not reported as work, so the skip
+                // kernel gets to probe whether the blockage is provable.
                 L2WriteOutcome::Retry => break,
                 _ => {
+                    work = true;
                     if from_retry {
                         self.write_retries[core].pop_front();
                     } else {
@@ -966,7 +1093,10 @@ impl CmpSystem {
         self.interval_start = end;
     }
 
-    fn finalize(mut self) -> SimStats {
+    /// Close the books and assemble the statistics. The caches' storage
+    /// stays attached (so this can run before the scratch reclaim that
+    /// strips it); the trace is moved out.
+    fn finalize(&mut self) -> SimStats {
         self.close_interval(self.now);
         let now = self.now;
         let mut on = 0u64;
@@ -992,15 +1122,25 @@ impl CmpSystem {
             mem_bytes: self.bus.mem_bytes,
             c2c_transfers: self.c2c_transfers,
             upper_invalidations: self.upper_invalidations,
-            trace: self.trace,
+            trace: std::mem::take(&mut self.trace),
         }
     }
 }
 
 impl CmpSystem {
-    /// Hand the reusable pools back to `scratch` (the simulation must be
-    /// finished with them, i.e. this is called right before finalizing).
+    /// Hand the reusable pools back to `scratch`: the caches release
+    /// their per-line columns into the arena, and the arena, event ring
+    /// and queues return for the next run. Must run after
+    /// [`CmpSystem::finalize`] (the final accounting pass reads the
+    /// line-state banks).
     fn reclaim_scratch(&mut self, scratch: &mut SimScratch) {
+        for l2 in &mut self.l2s {
+            l2.release_storage(&mut self.arena);
+        }
+        for l1 in &mut self.l1s {
+            l1.release_storage(&mut self.arena);
+        }
+        scratch.arena = std::mem::take(&mut self.arena);
         scratch.events = std::mem::take(&mut self.events);
         scratch.fx = std::mem::take(&mut self.fx);
         scratch.read_queues = std::mem::take(&mut self.read_queues);
@@ -1024,8 +1164,9 @@ pub fn run_simulation_with_scratch(
 ) -> SimStats {
     let mut sys = CmpSystem::new_with_scratch(cfg, workloads, scratch);
     sys.run_loop();
+    let stats = sys.finalize();
     sys.reclaim_scratch(scratch);
-    sys.finalize()
+    stats
 }
 
 #[cfg(test)]
@@ -1233,12 +1374,94 @@ mod tests {
 
     #[test]
     fn kernels_bit_identical_with_memory_latency_beyond_event_window() {
-        // DataReady events land past the bucket ring: the overflow heap
-        // and its migration are on the hot path of both kernels.
+        // DataReady events land past the bucket ring even after the
+        // adaptive window clamps at its maximum: the overflow heap and
+        // its migration are on the hot path of both kernels.
         let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 4096 });
-        cfg.mem.latency = 3 * EVENT_BUCKETS as u64;
+        cfg.mem.latency = 3 * MAX_EVENT_WINDOW as u64;
+        assert_eq!(
+            EventQueue::window_for(&cfg.mem),
+            MAX_EVENT_WINDOW,
+            "latency must exceed the clamped window for this test to bite"
+        );
         cfg.instructions_per_core = 5_000;
         run_both_kernels(cfg, private_streams);
+    }
+
+    #[test]
+    fn event_window_sized_from_memory_latency() {
+        let mut mem = crate::config::MemConfig { latency: 250, service: 16 };
+        assert_eq!(EventQueue::window_for(&mem), MIN_EVENT_WINDOW, "default fits the minimum");
+        mem.latency = 1500;
+        assert_eq!(EventQueue::window_for(&mem), 2048, "round-trip rounds up to a power of two");
+        mem.latency = 1_000_000;
+        assert_eq!(EventQueue::window_for(&mem), MAX_EVENT_WINDOW, "clamped at the cap");
+    }
+
+    #[test]
+    fn event_queue_counts_ring_hits_and_overflow_spills() {
+        let mut q = EventQueue::new();
+        let ev = |core: usize| EvKind::L1Hit { core, id: 0, issued_at: 0 };
+        q.push(3, ev(0)); // in window
+        q.push(5000, ev(1)); // beyond the 1024-cycle default window
+        q.push(900, ev(2)); // in window
+        let s = q.stats();
+        assert_eq!((s.ring_pushes, s.overflow_pushes, s.overflow_migrations), (2, 1, 0));
+        assert_eq!(s.window, MIN_EVENT_WINDOW as u64);
+        // Draining past the spill migrates it into a bucket.
+        while q.pop_due(6000).is_some() {}
+        assert_eq!(q.stats().overflow_migrations, 1);
+        // A fresh run resets the counters and may resize the window.
+        q.reset(2048);
+        let s = q.stats();
+        assert_eq!((s.ring_pushes, s.overflow_pushes, s.window), (0, 0, 2048));
+    }
+
+    #[test]
+    fn scratch_exposes_event_queue_stats_after_run() {
+        let mut scratch = SimScratch::default();
+        let mut cfg = tiny_cfg(Technique::Baseline);
+        // Memory latency beyond the clamped window forces overflow
+        // traffic that the counters must witness.
+        cfg.mem.latency = 2 * MAX_EVENT_WINDOW as u64;
+        run_simulation_with_scratch(cfg, private_streams(), &mut scratch);
+        let s = scratch.event_queue_stats();
+        assert_eq!(s.window, MAX_EVENT_WINDOW as u64);
+        assert!(s.overflow_pushes > 0, "far DataReady events must spill");
+        assert!(s.ring_pushes > 0, "L1 hits stay in the ring");
+        assert_eq!(s.overflow_migrations, s.overflow_pushes, "every spill migrates back");
+    }
+
+    #[test]
+    fn kernels_bit_identical_through_blocked_write_bursts() {
+        // Store bursts to distinct lines: the write buffer fills, its
+        // drain jams on a full L2 MSHR behind slow memory, and the cores
+        // spin on refused stores. These spans used to force per-cycle
+        // stepping; they are now skipped, and every bulk-charged counter
+        // (reject stalls, L2 retries, wb full-stalls) must match the
+        // per-cycle reference exactly.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            (0..2)
+                .map(|c| {
+                    let base = (c as u64 + 1) << 21;
+                    let ops: Vec<TraceOp> =
+                        (0..4096u64).map(|i| TraceOp::Store(base + i * 64)).collect();
+                    Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+                })
+                .collect()
+        };
+        for technique in
+            [Technique::Baseline, Technique::Protocol, Technique::Decay { decay_cycles: 2048 }]
+        {
+            let mut cfg = tiny_cfg(technique);
+            cfg.instructions_per_core = 6_000;
+            cfg.mem.latency = 1_000; // long fills keep the MSHR saturated
+            let stats = run_both_kernels(cfg, wl);
+            let rejects: u64 = stats.cores.iter().map(|c| c.reject_stall_cycles).sum();
+            assert!(rejects > 0, "cores must actually block on refused stores");
+            let retries: u64 = stats.l2.iter().map(|s| s.retries).sum();
+            assert!(retries > 0, "the blocked drain head must accrue L2 retries");
+        }
     }
 
     #[test]
