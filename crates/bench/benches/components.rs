@@ -22,6 +22,12 @@ impl cmpleak_mem::array::LineMeta for V {
     fn is_valid(&self) -> bool {
         self.0
     }
+    fn to_byte(&self) -> u8 {
+        self.0.into()
+    }
+    fn from_byte(b: u8) -> Self {
+        V(b != 0)
+    }
 }
 
 fn bench_mem(c: &mut Criterion) {

@@ -2,8 +2,9 @@
 
 use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
+use cmpleak_mem::BankArena;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
-use cmpleak_system::{run_simulation_with_scratch, CmpConfig, SimKernel, SimScratch, SimStats};
+use cmpleak_system::{run_sources_with_scratch, CmpConfig, SimKernel, SimScratch, SimStats};
 use cmpleak_workloads::WorkloadSpec;
 
 /// Configuration of a single experiment.
@@ -80,16 +81,31 @@ pub struct ExperimentResult {
 /// Reusable allocation pools for back-to-back experiments (one per
 /// sweep worker thread): wraps the simulator's [`SimScratch`] so queue
 /// and event-ring capacities — and, via the bank arena, the multi-MB
-/// per-line columns of every cache — stay warm across grid cells.
+/// per-line columns of every cache — stay warm across grid cells. The
+/// separate `streams` arena pools the encoded op-stream buffers of
+/// shared-stream recordings ([`Scenario::record_shared`]), so repeated
+/// sweeps on one scratch re-record into the same allocations.
 #[derive(Debug, Default)]
 pub struct ExperimentScratch {
     sim: SimScratch,
+    streams: BankArena,
 }
 
 impl ExperimentScratch {
     /// Allocation counters of the per-line-state arena.
     pub fn arena_stats(&self) -> cmpleak_system::ArenaStats {
         self.sim.arena_stats()
+    }
+
+    /// Allocation counters of the shared-stream buffer pool.
+    pub fn stream_arena_stats(&self) -> cmpleak_system::ArenaStats {
+        self.streams.stats()
+    }
+
+    /// The shared-stream buffer pool (recording checks encoded-stream
+    /// buffers out of it; releasing a retired recording returns them).
+    pub fn stream_arena(&mut self) -> &mut BankArena {
+        &mut self.streams
     }
 
     /// Event-queue occupancy counters from the most recent run.
@@ -111,9 +127,9 @@ pub fn run_experiment_with_scratch(
     scratch: &mut ExperimentScratch,
 ) -> ExperimentResult {
     let cmp = cfg.cmp_config();
-    let workloads = cfg.scenario.build_workloads(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
+    let sources = cfg.scenario.build_sources(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
     let bank_bytes = cmp.l2.size_bytes;
-    let stats = run_simulation_with_scratch(cmp, workloads, &mut scratch.sim);
+    let stats = run_sources_with_scratch(cmp, sources, &mut scratch.sim);
     let power = evaluate_energy(cfg.power, cfg.technique, cfg.n_cores, bank_bytes, &stats);
     ExperimentResult {
         benchmark: cfg.scenario.label(),

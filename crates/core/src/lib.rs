@@ -43,4 +43,7 @@ pub use experiment::{
 pub use figures::{Figure, FigureSet};
 pub use metrics::TechniqueMetrics;
 pub use scenario::Scenario;
-pub use sweep::{SweepCell, SweepConfig, SweepResults};
+pub use sweep::{
+    run_sweep, run_sweep_reference, run_sweep_unshared, run_sweep_with_scratch, SweepCell,
+    SweepConfig, SweepResults,
+};

@@ -8,10 +8,21 @@
 //! * [`Scenario::Mix`] — a heterogeneous multiprogrammed
 //!   [`ScenarioSpec`], one spec per core;
 //! * [`Scenario::TraceReplay`] — replay a recorded trace file
-//!   (`cmpleak-trace`), bit-identical to the live run it captured.
+//!   (`cmpleak-trace`), bit-identical to the live run it captured;
+//! * [`Scenario::SharedStream`] — replay an in-memory [`MemTrace`]
+//!   recorded from another scenario, shared (via `Arc`) across every
+//!   experiment cell that consumes the same (scenario, seed, budget)
+//!   stream — the sweep planner's record-once/replay-everywhere
+//!   substrate.
+//!
+//! Experiments consume a scenario through [`Scenario::build_sources`]
+//! (per-core [`OpSource`] delivery channels); the parallel
+//! [`Scenario::build_workloads`] view exists for recording and
+//! differential tooling.
 
-use cmpleak_cpu::Workload;
-use cmpleak_trace::{record_workloads, TraceFile, TraceRecorder};
+use cmpleak_cpu::{LiveGen, OpSource, Workload};
+use cmpleak_mem::BankArena;
+use cmpleak_trace::{record_workloads, MemTrace, TraceFile, TraceRecorder};
 use cmpleak_workloads::{ScenarioSpec, WorkloadSpec};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -35,6 +46,16 @@ pub enum Scenario {
         /// replaying one trace over many cells reads the file once, and
         /// worker threads slice the same cached bytes.
         file: Arc<TraceFile>,
+    },
+    /// Replay the per-core streams of an in-memory recording. The label
+    /// is the *recorded* scenario's label, so a shared-stream cell is
+    /// indistinguishable (in reports, sweep cells and golden snapshots)
+    /// from the live-generation cell it stands in for — which is the
+    /// point: record once, replay across every cell of the group,
+    /// bit-identically.
+    SharedStream {
+        /// The shared recording; clones and cursors alias one buffer.
+        trace: Arc<MemTrace>,
     },
 }
 
@@ -74,17 +95,44 @@ impl Scenario {
             Scenario::Homogeneous(spec) => spec.name.to_string(),
             Scenario::Mix(mix) => mix.name.clone(),
             Scenario::TraceReplay { label, .. } => label.clone(),
+            Scenario::SharedStream { trace } => trace.label().to_string(),
         }
+    }
+
+    /// Whether this scenario generates its streams live — i.e. whether a
+    /// sweep gains anything from recording it once into a shared stream
+    /// (replay scenarios already share one buffer across cells).
+    pub fn generates_live(&self) -> bool {
+        matches!(self, Scenario::Homogeneous(_) | Scenario::Mix(_))
+    }
+
+    /// Record this scenario's streams once into an in-memory trace and
+    /// wrap it as a [`Scenario::SharedStream`], with stream buffers
+    /// checked out of `arena`. Every experiment run from the returned
+    /// scenario with the same `(n_cores, seed)` and a budget
+    /// `≤ instructions_per_core` is bit-identical to running `self`
+    /// live — the contract pinned by `tests/stream_sharing.rs`.
+    pub fn record_shared(
+        &self,
+        n_cores: usize,
+        seed: u64,
+        instructions_per_core: u64,
+        arena: &mut BankArena,
+    ) -> Scenario {
+        let mut wls = self.build_workloads(n_cores, seed, instructions_per_core);
+        let trace = MemTrace::record(self.label(), seed, &mut wls, instructions_per_core, arena);
+        Scenario::SharedStream { trace: Arc::new(trace) }
     }
 
     /// Build the per-core workload drivers.
     ///
     /// # Panics
-    /// For [`Scenario::TraceReplay`], panics if the file cannot be read,
-    /// records a different core count, or covers fewer instructions per
-    /// core than `instructions_per_core` — replaying past the recorded
-    /// budget would silently diverge from the live run, so it is
-    /// rejected up front.
+    /// For [`Scenario::TraceReplay`] and [`Scenario::SharedStream`],
+    /// panics if the recording covers a different core count or fewer
+    /// instructions per core than `instructions_per_core` (replaying
+    /// past the recorded budget would silently diverge from the live
+    /// run), or — for a shared stream — was recorded under a different
+    /// seed than requested.
     pub fn build_workloads(
         &self,
         n_cores: usize,
@@ -119,7 +167,68 @@ impl Scenario {
                     })
                     .collect()
             }
+            Scenario::SharedStream { trace } => {
+                Self::check_shared(trace, n_cores, seed, instructions_per_core);
+                (0..n_cores).map(|c| Box::new(trace.cursor(c)) as Box<dyn Workload>).collect()
+            }
         }
+    }
+
+    /// Build the per-core [`OpSource`] delivery channels the simulator
+    /// consumes: live generators behind budget-cursor adapters, or
+    /// replay cursors over the recorded streams. Op-for-op identical to
+    /// [`Scenario::build_workloads`] (pinned by the op-source proptests
+    /// in `crates/cpu/tests/`).
+    ///
+    /// # Panics
+    /// As [`Scenario::build_workloads`].
+    pub fn build_sources(
+        &self,
+        n_cores: usize,
+        seed: u64,
+        instructions_per_core: u64,
+    ) -> Vec<Box<dyn OpSource>> {
+        match self {
+            Scenario::Homogeneous(spec) => {
+                ScenarioSpec::new(spec.name, vec![*spec]).build_sources(n_cores, seed)
+            }
+            Scenario::Mix(mix) => mix.build_sources(n_cores, seed),
+            Scenario::TraceReplay { .. } => self
+                .build_workloads(n_cores, seed, instructions_per_core)
+                .into_iter()
+                .map(LiveGen::boxed)
+                .collect(),
+            Scenario::SharedStream { trace } => {
+                Self::check_shared(trace, n_cores, seed, instructions_per_core);
+                (0..n_cores).map(|c| Box::new(trace.cursor(c)) as Box<dyn OpSource>).collect()
+            }
+        }
+    }
+
+    /// Reject mismatched shared-stream replays up front: a wrong seed or
+    /// an uncovered budget would silently diverge from live generation.
+    fn check_shared(trace: &MemTrace, n_cores: usize, seed: u64, instructions_per_core: u64) {
+        assert_eq!(
+            trace.n_cores(),
+            n_cores,
+            "shared stream '{}' records {} cores, experiment wants {n_cores}",
+            trace.label(),
+            trace.n_cores()
+        );
+        assert_eq!(
+            trace.seed(),
+            seed,
+            "shared stream '{}' was recorded under seed {}, experiment wants {seed}",
+            trace.label(),
+            trace.seed()
+        );
+        assert!(
+            trace.min_core_instructions() >= instructions_per_core,
+            "shared stream '{}' covers {} instructions/core, experiment wants {}",
+            trace.label(),
+            trace.min_core_instructions(),
+            instructions_per_core
+        );
     }
 
     /// Record this scenario's live streams into a [`TraceRecorder`]
@@ -165,7 +274,7 @@ mod tests {
         let mut built = Scenario::Homogeneous(spec).build_workloads(2, 5, 1000);
         let mut direct = GenerationalWorkload::new(spec, 1, 2, 5);
         for _ in 0..2000 {
-            assert_eq!(built[1].next_op(), direct.next_op());
+            assert_eq!(built[1].next_op(), Workload::next_op(&mut direct));
         }
     }
 
@@ -188,6 +297,34 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_stream_replays_bit_identically_to_live_generation() {
+        use cmpleak_mem::BankArena;
+        let live = Scenario::Mix(ScenarioSpec::producer_sharing());
+        let mut arena = BankArena::default();
+        let shared = live.record_shared(4, 42, 5_000, &mut arena);
+        assert_eq!(shared.label(), live.label(), "shared cells keep the scenario label");
+        assert!(!shared.generates_live());
+        let mut a = live.build_sources(4, 42, 5_000);
+        let mut b = shared.build_sources(4, 42, 5_000);
+        for core in 0..4 {
+            assert_eq!(a[core].name(), b[core].name());
+            let Scenario::SharedStream { trace } = &shared else { unreachable!() };
+            for _ in 0..trace.core_info(core).ops {
+                assert_eq!(a[core].next_op(), b[core].next_op(), "core {core}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed")]
+    fn shared_stream_rejects_a_mismatched_seed() {
+        use cmpleak_mem::BankArena;
+        let live = Scenario::Homogeneous(WorkloadSpec::fmm());
+        let shared = live.record_shared(2, 7, 1_000, &mut BankArena::default());
+        let _ = shared.build_sources(2, 8, 1_000);
     }
 
     #[test]

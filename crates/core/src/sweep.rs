@@ -7,6 +7,16 @@
 //! pattern from the workspace's hpc-parallel guides) and reassembles
 //! results by index, so the output is identical for any thread count
 //! (pinned by the golden regression test in `tests/golden_sweep.rs`).
+//!
+//! Two sweep-level optimizations are on by default in [`run_sweep`],
+//! both bit-identity-preserving: the baseline of each (scenario, size)
+//! group is *derived* from its timing-identical Protocol twin instead of
+//! simulated, and each (scenario, seed, budget) group's op stream is
+//! *recorded once* into a shared in-memory trace that every cell of the
+//! group replays through a cursor instead of regenerating live (the
+//! grid runs 1 + sizes × techniques cells per scenario off one
+//! recording). See `tests/sweep_memoization.rs` and
+//! `tests/stream_sharing.rs` for the differentials that pin both.
 
 use crate::experiment::{
     derive_baseline_cell, run_experiment_with_scratch, ExperimentConfig, ExperimentResult,
@@ -150,32 +160,65 @@ fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell 
     }
 }
 
-/// Run the sweep, memoizing the baseline against its timing-identical
-/// technique twin.
+/// Run the sweep with both sweep-level optimizations on: baseline
+/// memoization against the timing-identical technique twin, and shared
+/// op streams.
 ///
-/// Within every (scenario, size) group, the baseline and a
-/// [`Technique::timing_identical_to_baseline`] technique (Protocol)
-/// produce cycle-for-cycle identical simulations that differ only in
-/// power bookkeeping. When the technique list contains such a twin, the
-/// baseline cell is **derived** from the twin's result
+/// **Memoization** — within every (scenario, size) group, the baseline
+/// and a [`Technique::timing_identical_to_baseline`] technique
+/// (Protocol) produce cycle-for-cycle identical simulations that differ
+/// only in power bookkeeping. When the technique list contains such a
+/// twin, the baseline cell is **derived** from the twin's result
 /// ([`derive_baseline_cell`] re-runs only the power accounting) instead
-/// of being simulated — one full simulation saved per group. The output
-/// is byte-identical to [`run_sweep_reference`] (pinned cell-for-cell
-/// by `tests/sweep_memoization.rs` and by the golden snapshot, which
-/// passes unchanged with memoization on).
+/// of being simulated — one full simulation saved per group.
+///
+/// **Shared streams** — every cell of a (scenario, seed, instruction
+/// budget) group consumes the *same* op stream: the live generators
+/// recompute it per cell, although trace replay is bit-identical to
+/// generation (PR 2's contract). The planner therefore records each
+/// live-generating scenario once into an in-memory trace
+/// ([`Scenario::record_shared`]) and hands every cell of the group a
+/// cheap replay cursor over the shared buffer, amortizing the generator
+/// work to one recording per group.
+///
+/// The output is byte-identical to [`run_sweep_reference`] (pinned
+/// cell-for-cell by `tests/sweep_memoization.rs` and
+/// `tests/stream_sharing.rs`, and by the golden snapshot, which passes
+/// unchanged with both optimizations on).
 pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, true).0
+    run_sweep_with_scratch(cfg, &mut ExperimentScratch::default())
 }
 
-/// [`run_sweep`] with memoization disabled: every cell, baseline
-/// included, is fully simulated. The differential reference for the
-/// memoized path.
+/// [`run_sweep`] reusing `scratch`'s pools across calls — in particular
+/// the shared-stream buffer arena, so repeated sweeps (benchmark reps,
+/// parameter studies) re-record their streams into the same
+/// allocations. The result is identical.
+pub fn run_sweep_with_scratch(cfg: &SweepConfig, scratch: &mut ExperimentScratch) -> SweepResults {
+    run_sweep_inner(cfg, true, true, scratch).0
+}
+
+/// [`run_sweep`] with both optimizations disabled: every cell, baseline
+/// included, is fully simulated from live generators. The differential
+/// reference for the optimized paths.
 pub fn run_sweep_reference(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, false).0
+    run_sweep_inner(cfg, false, false, &mut ExperimentScratch::default()).0
 }
 
-/// Returns the results plus the number of derived (unsimulated) cells.
-fn run_sweep_inner(cfg: &SweepConfig, memoize: bool) -> (SweepResults, usize) {
+/// [`run_sweep`] with stream sharing disabled (baseline memoization
+/// stays on): every simulated cell regenerates its streams live. The
+/// comparison arm the `sweep` bench uses to isolate what sharing buys.
+pub fn run_sweep_unshared(cfg: &SweepConfig) -> SweepResults {
+    run_sweep_inner(cfg, true, false, &mut ExperimentScratch::default()).0
+}
+
+/// Returns the results plus the number of derived (unsimulated) cells
+/// and the number of recorded shared-stream groups.
+fn run_sweep_inner(
+    cfg: &SweepConfig,
+    memoize: bool,
+    share_streams: bool,
+    scratch: &mut ExperimentScratch,
+) -> (SweepResults, usize, usize) {
     // The technique whose run can stand in for the baseline simulation,
     // if any: the first timing-identical one in the configured list.
     let donor_offset = cfg
@@ -185,10 +228,40 @@ fn run_sweep_inner(cfg: &SweepConfig, memoize: bool) -> (SweepResults, usize) {
         .filter(|_| memoize)
         .map(|i| i + 1); // +1: the baseline occupies slot 0 of each group
 
+    // Recording pass: each (scenario, seed, budget) group — one per
+    // live-generating scenario entry, since seed and budget are
+    // sweep-wide — is recorded once into a shared in-memory trace;
+    // every cell of the group replays a cursor over it. Replay-backed
+    // scenarios already share one buffer and pass through unchanged.
+    // Recording pays off only when a group simulates ≥ 2 cells (the
+    // recording costs one generator pass); a degenerate single-cell
+    // group stays on the live path.
+    let simulated_per_group = cfg.sizes_mb.len() * (1 + cfg.techniques.len())
+        - if donor_offset.is_some() { cfg.sizes_mb.len() } else { 0 };
+    let share_streams = share_streams && simulated_per_group > 1;
+    let mut recorded = 0usize;
+    let scenarios: Vec<Scenario> = cfg
+        .scenarios
+        .iter()
+        .map(|s| {
+            if share_streams && s.generates_live() {
+                recorded += 1;
+                s.record_shared(
+                    cfg.n_cores,
+                    cfg.seed,
+                    cfg.instructions_per_core,
+                    scratch.stream_arena(),
+                )
+            } else {
+                s.clone()
+            }
+        })
+        .collect();
+
     // Job list: for each (scenario, size): baseline + each technique.
     // `simulate` is false for baseline cells that will be derived.
     let mut jobs: Vec<(ExperimentConfig, bool)> = Vec::new();
-    for scenario in &cfg.scenarios {
+    for scenario in &scenarios {
         for &size in &cfg.sizes_mb {
             let mut techs = vec![Technique::Baseline];
             techs.extend(cfg.techniques.iter().copied());
@@ -269,6 +342,18 @@ fn run_sweep_inner(cfg: &SweepConfig, memoize: bool) -> (SweepResults, usize) {
     let results: Vec<ExperimentResult> =
         results.into_iter().map(|r| r.expect("all jobs completed")).collect();
 
+    // Retire the shared recordings: with the jobs (and their cursor
+    // factories) gone, each trace has one handle left, and its encoded
+    // stream buffers go back to the scratch pool for the next sweep.
+    drop(jobs);
+    for scenario in scenarios {
+        if let Scenario::SharedStream { trace } = scenario {
+            if let Some(mut t) = std::sync::Arc::into_inner(trace) {
+                t.release_into(scratch.stream_arena());
+            }
+        }
+    }
+
     // Group per (scenario, size): first entry is the baseline.
     let group = 1 + cfg.techniques.len();
     let mut cells = Vec::with_capacity(results.len());
@@ -279,7 +364,7 @@ fn run_sweep_inner(cfg: &SweepConfig, memoize: bool) -> (SweepResults, usize) {
             cells.push(summarize(tech, TechniqueMetrics::compare(base, tech)));
         }
     }
-    (SweepResults { cells }, derived)
+    (SweepResults { cells }, derived, recorded)
 }
 
 #[cfg(test)]
@@ -315,10 +400,13 @@ mod tests {
     #[test]
     fn memoized_sweep_equals_reference_and_actually_derives() {
         let cfg = tiny(); // includes Protocol: one derived baseline per group
-        let (memo, derived) = run_sweep_inner(&cfg, true);
-        let (full, none) = run_sweep_inner(&cfg, false);
+        let mut scratch = ExperimentScratch::default();
+        let (memo, derived, recorded) = run_sweep_inner(&cfg, true, true, &mut scratch);
+        let (full, none, unrecorded) =
+            run_sweep_inner(&cfg, false, false, &mut ExperimentScratch::default());
         assert_eq!(derived, 2, "one baseline derived per (scenario, size) group");
-        assert_eq!(none, 0);
+        assert_eq!(recorded, 2, "one shared stream recorded per scenario");
+        assert_eq!((none, unrecorded), (0, 0));
         for (a, b) in memo.cells.iter().zip(&full.cells) {
             assert_eq!(a.cycles, b.cycles, "{}:{}", a.benchmark, a.technique);
             assert_eq!(a.mem_bytes, b.mem_bytes);
@@ -332,9 +420,41 @@ mod tests {
     fn sweep_without_a_timing_twin_simulates_every_cell() {
         let mut cfg = tiny();
         cfg.techniques = vec![Technique::Decay { decay_cycles: 16 * 1024 }];
-        let (res, derived) = run_sweep_inner(&cfg, true);
+        let (res, derived, _) =
+            run_sweep_inner(&cfg, true, true, &mut ExperimentScratch::default());
         assert_eq!(derived, 0, "no timing-identical technique, nothing to derive");
         assert_eq!(res.cells.len(), 4);
+    }
+
+    #[test]
+    fn shared_streams_release_their_buffers_and_repool_across_sweeps() {
+        let cfg = tiny();
+        let mut scratch = ExperimentScratch::default();
+        run_sweep_with_scratch(&cfg, &mut scratch);
+        let first = scratch.stream_arena_stats();
+        assert_eq!(first.checkouts, 4, "one stream buffer per core per recorded scenario");
+        assert_eq!(first.returns, first.checkouts, "retired recordings repool their buffers");
+        run_sweep_with_scratch(&cfg, &mut scratch);
+        let second = scratch.stream_arena_stats();
+        assert_eq!(
+            second.fresh_allocations, first.fresh_allocations,
+            "the second sweep records into the pooled buffers"
+        );
+    }
+
+    #[test]
+    fn unshared_sweep_matches_shared_byte_for_byte() {
+        // The full differential (SimStats + PowerReport over every
+        // technique) lives in tests/stream_sharing.rs; this pins the
+        // sweep-level surface cheaply.
+        let cfg = tiny();
+        let shared = run_sweep(&cfg);
+        let live = run_sweep_unshared(&cfg);
+        for (a, b) in shared.cells.iter().zip(&live.cells) {
+            assert_eq!(a.cycles, b.cycles, "{}:{}", a.benchmark, a.technique);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.energy_pj, b.energy_pj);
+        }
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //! Workloads are infinite instruction streams ([`Workload`]) of
 //! [`TraceOp`]s; the simulator runs each core for a fixed instruction
 //! budget so that every technique executes the same work, matching the
-//! paper's fixed-workload comparisons.
+//! paper's fixed-workload comparisons. The core consumes ops through the
+//! weaker [`OpSource`] delivery contract (see [`source`]), which live
+//! generators satisfy automatically and finite trace backends implement
+//! directly.
 
 pub mod model;
+pub mod source;
 pub mod trace;
 
 pub use model::{CoreConfig, CoreModel, CorePort, CoreStats, ProgressState, StallKind};
+pub use source::{LiveGen, OpSource};
 pub use trace::{ReplayWorkload, TraceOp, Workload};

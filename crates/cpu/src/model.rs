@@ -22,7 +22,8 @@
 //! [`CorePort`], and reports completions via
 //! [`CoreModel::on_load_complete`].
 
-use crate::trace::{TraceOp, Workload};
+use crate::source::OpSource;
+use crate::trace::TraceOp;
 use std::collections::VecDeque;
 
 /// Static configuration of a core.
@@ -232,11 +233,18 @@ impl CoreModel {
         }
     }
 
-    /// Advance one cycle: dispatch up to `width` instructions.
+    /// Advance one cycle: dispatch up to `width` instructions, fetching
+    /// ops from `src` as dispatch consumes them.
+    ///
+    /// The fetch discipline is the budget-cursor contract every
+    /// [`OpSource`] backend relies on: `src.next_op()` is called only
+    /// while `instructions < budget` (a refused op is re-presented from
+    /// the retry slot, never re-fetched), so a finite source covering
+    /// the budget covers the whole run.
     ///
     /// Returns the number of instructions dispatched this cycle (0 when
     /// stalled or finished).
-    pub fn tick(&mut self, wl: &mut dyn Workload, port: &mut dyn CorePort) -> u32 {
+    pub fn tick(&mut self, src: &mut dyn OpSource, port: &mut dyn CorePort) -> u32 {
         if self.stats.instructions >= self.budget && self.retry.is_none() {
             return 0;
         }
@@ -273,7 +281,7 @@ impl CoreModel {
             }
             let op = match self.retry.take() {
                 Some(op) => op,
-                None => wl.next_op(),
+                None => src.next_op(),
             };
             match op {
                 TraceOp::Exec(n) => {

@@ -1,0 +1,120 @@
+//! Property-based differentials for the [`OpSource`] boundary.
+//!
+//! The sweep planner's shared-stream optimization rests on one claim:
+//! an op prefix recorded into a `MemTrace` and served back through
+//! per-core cursors is **op-for-op identical** to the [`LiveGen`]
+//! stream it was recorded from, for any workload spec, seed, core
+//! count and instruction budget. These properties pin that claim at the
+//! source boundary itself (the end-to-end `SimStats` differential lives
+//! in `tests/stream_sharing.rs` at the workspace root), plus the
+//! encode/decode round-trip of the in-memory CMPT streams against both
+//! the cursor path and the file tooling.
+
+use cmpleak_cpu::{LiveGen, OpSource, ReplayWorkload, TraceOp, Workload};
+use cmpleak_mem::BankArena;
+use cmpleak_trace::{MemTrace, TraceFile};
+use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (0..WorkloadSpec::extended_suite().len()).prop_map(|i| WorkloadSpec::extended_suite()[i])
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<TraceOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..40).prop_map(TraceOp::Exec),
+            (0u64..1 << 20).prop_map(|a| TraceOp::Load(a * 8)),
+            (0u64..1 << 20).prop_map(|a| TraceOp::Store(a * 8)),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Any op prefix served via `MemTrace` cursors equals the `LiveGen`
+    /// stream op-for-op — over every workload spec, random seeds, core
+    /// counts and budgets — and the recording covers at least the
+    /// budget on every core.
+    #[test]
+    fn mem_trace_cursors_match_live_gen_streams(
+        spec in arb_spec(),
+        seed in 0u64..10_000,
+        budget in 500u64..20_000,
+        n_cores in 1usize..5,
+    ) {
+        let gens = || -> Vec<Box<dyn Workload>> {
+            (0..n_cores)
+                .map(|c| {
+                    Box::new(GenerationalWorkload::new(spec, c, n_cores, seed))
+                        as Box<dyn Workload>
+                })
+                .collect()
+        };
+        let mut to_record = gens();
+        let mut arena = BankArena::default();
+        let trace = Arc::new(MemTrace::record(
+            spec.name, seed, &mut to_record, budget, &mut arena,
+        ));
+        prop_assert!(trace.min_core_instructions() >= budget, "recording must cover the budget");
+
+        let live: Vec<LiveGen> = gens().into_iter().map(LiveGen::new).collect();
+        for (core, mut live) in live.into_iter().enumerate() {
+            let mut cursor = trace.cursor(core);
+            prop_assert_eq!(OpSource::name(&live), Workload::name(&cursor), "core {}", core);
+            for i in 0..cursor.total_ops() {
+                let recorded = Workload::next_op(&mut cursor);
+                let generated = live.next_op();
+                prop_assert_eq!(recorded, generated, "core {} op {}", core, i);
+            }
+            // The budget cursors agree: the recorded prefix is exactly
+            // the live prefix whose instruction count first covers the
+            // budget.
+            prop_assert_eq!(live.instructions_served(), cursor.total_instructions());
+            prop_assert_eq!(live.ops_served(), cursor.total_ops());
+            prop_assert!(live.instructions_served() >= budget);
+        }
+    }
+
+    /// `MemTrace` encode/decode round-trip: arbitrary op sequences come
+    /// back bit-identically through a cursor, through rewind, and
+    /// through the CMPT file image read back by the file tooling.
+    #[test]
+    fn mem_trace_roundtrips_arbitrary_ops(
+        ops in arb_ops(),
+        seed in 0u64..1000,
+    ) {
+        // The replay workload cycles; record a prefix covering a few
+        // full cycles so wrap-around delta state is exercised too.
+        let cycle_instr: u64 = ops.iter().map(|o| o.instructions()).sum::<u64>().max(1);
+        let budget = cycle_instr * 3;
+        let mut wl: Vec<Box<dyn Workload>> =
+            vec![Box::new(ReplayWorkload::named("rt", ops.clone()))];
+        let mut arena = BankArena::default();
+        let trace = Arc::new(MemTrace::record("rt", seed, &mut wl, budget, &mut arena));
+
+        let mut cursor = trace.cursor(0);
+        let mut reference = ReplayWorkload::named("rt", ops);
+        let total = cursor.total_ops();
+        let decoded: Vec<TraceOp> =
+            (0..total).map(|_| Workload::next_op(&mut cursor)).collect();
+        let expected: Vec<TraceOp> =
+            (0..total).map(|_| Workload::next_op(&mut reference)).collect();
+        prop_assert_eq!(&decoded, &expected, "cursor decode diverged from the encoded ops");
+        prop_assert!(cursor.try_next_op().is_none(), "cursor must end exactly at the prefix");
+
+        // Seekable: rewinding replays the identical stream.
+        cursor.rewind();
+        let again: Vec<TraceOp> = (0..total).map(|_| Workload::next_op(&mut cursor)).collect();
+        prop_assert_eq!(&again, &decoded);
+
+        // The in-memory streams are CMPT v1: the file image replays the
+        // same ops through the file reader.
+        let tf = TraceFile::from_bytes(trace.to_file_bytes()).expect("valid CMPT image");
+        let mut file_replay = tf.core_workload(0).expect("core 0 readable");
+        let from_file: Vec<TraceOp> =
+            (0..total).map(|_| Workload::next_op(&mut file_replay)).collect();
+        prop_assert_eq!(&from_file, &decoded, "file image diverged from the in-memory streams");
+    }
+}

@@ -8,13 +8,18 @@
 //! Storage is **columnar**: tags, LRU stamps and metadata live in three
 //! parallel arrays instead of an array of per-line structs, so the probe
 //! loop walks a dense `u64` tag column (metadata is consulted only on a
-//! tag match) and the two large columns can be checked out of a
+//! tag match) and **all three** columns are checked out of a
 //! [`BankArena`] and reused across simulations instead of being
-//! reallocated per sweep grid cell. An invalid slot's tag is pinned to a
-//! sentinel so stale tags can never alias a probe.
+//! reallocated per sweep grid cell — the metadata column is held as one
+//! byte per line ([`LineMeta::to_byte`]/[`LineMeta::from_byte`]; every
+//! cache's per-line state in the workspace fits a byte), so it pools
+//! through the arena's `u8` buffers like the line-state bank's counter
+//! column. An invalid slot's tag is pinned to a sentinel so stale tags
+//! can never alias a probe.
 
 use crate::addr::{Geometry, LineAddr};
 use crate::bank::BankArena;
+use std::marker::PhantomData;
 
 /// Tag column value of an invalid slot. Line addresses are byte
 /// addresses shifted right by the offset bits, so `u64::MAX` is
@@ -22,22 +27,32 @@ use crate::bank::BankArena;
 const INVALID_TAG: u64 = u64::MAX;
 
 /// Per-line metadata contract. `Default` must produce an *invalid* line.
+///
+/// Metadata is stored as one byte per line so the column can be pooled
+/// through the [`BankArena`]; `to_byte`/`from_byte` must be exact
+/// inverses over every value the embedding cache constructs.
 pub trait LineMeta: Default + Clone {
     /// Whether this line currently holds a valid (powered, allocated) block.
     fn is_valid(&self) -> bool;
+
+    /// Pack into the byte column.
+    fn to_byte(&self) -> u8;
+
+    /// Unpack from the byte column (inverse of [`LineMeta::to_byte`]).
+    fn from_byte(b: u8) -> Self;
 }
 
 /// Read-only view of one line slot (tag + LRU stamp + caller metadata),
-/// assembled from the columns.
+/// assembled (and the metadata decoded) from the columns.
 #[derive(Debug)]
-pub struct LineView<'a, M> {
+pub struct LineView<M> {
     /// Full line address of the resident block (meaningful only when
     /// `meta.is_valid()`).
     pub tag: LineAddr,
     /// Monotonic last-use stamp for LRU.
     pub lru: u64,
-    /// Caller-owned metadata.
-    pub meta: &'a M,
+    /// Caller-owned metadata, decoded from the byte column.
+    pub meta: M,
 }
 
 /// Result of a lookup: hit slot or the set to fill into.
@@ -50,14 +65,15 @@ pub enum LookupOutcome {
 }
 
 /// A set-associative array of lines carrying metadata `M`, stored as
-/// parallel tag / LRU / metadata columns.
+/// parallel tag / LRU / metadata-byte columns.
 #[derive(Debug, Clone)]
 pub struct SetAssocArray<M> {
     geom: Geometry,
     tags: Vec<u64>,
     lru: Vec<u64>,
-    meta: Vec<M>,
+    meta: Vec<u8>,
     stamp: u64,
+    _marker: PhantomData<M>,
 }
 
 impl<M: LineMeta> SetAssocArray<M> {
@@ -66,17 +82,17 @@ impl<M: LineMeta> SetAssocArray<M> {
         Self::new_in(geom, &mut BankArena::default())
     }
 
-    /// Like [`SetAssocArray::new`], with the tag and LRU columns checked
-    /// out of `arena` (the metadata column is comparatively tiny and
-    /// type-specific, so it is allocated fresh).
+    /// Like [`SetAssocArray::new`], with every column — tags, LRU and
+    /// the byte-packed metadata — checked out of `arena`.
     pub fn new_in(geom: Geometry, arena: &mut BankArena) -> Self {
         let lines = geom.lines();
         Self {
             geom,
             tags: arena.take_u64(lines, INVALID_TAG),
             lru: arena.take_u64(lines, 0),
-            meta: (0..lines).map(|_| M::default()).collect(),
+            meta: arena.take_u8(lines, M::default().to_byte()),
             stamp: 0,
+            _marker: PhantomData,
         }
     }
 
@@ -84,7 +100,7 @@ impl<M: LineMeta> SetAssocArray<M> {
     pub fn release_into(&mut self, arena: &mut BankArena) {
         arena.give_u64(std::mem::take(&mut self.tags));
         arena.give_u64(std::mem::take(&mut self.lru));
-        self.meta.clear();
+        arena.give_u8(std::mem::take(&mut self.meta));
     }
 
     /// The geometry this array was built with.
@@ -113,7 +129,7 @@ impl<M: LineMeta> SetAssocArray<M> {
     /// (an invalid slot's tag is the sentinel, so this cannot hit).
     pub fn probe(&self, line: LineAddr) -> LookupOutcome {
         for idx in self.set_range(line) {
-            if self.tags[idx] == line.0 && self.meta[idx].is_valid() {
+            if self.tags[idx] == line.0 && M::from_byte(self.meta[idx]).is_valid() {
                 return LookupOutcome::Hit(idx);
             }
         }
@@ -144,7 +160,7 @@ impl<M: LineMeta> SetAssocArray<M> {
         let mut best = usize::MAX;
         let mut best_lru = u64::MAX;
         for idx in self.set_range(line) {
-            if !self.meta[idx].is_valid() {
+            if !M::from_byte(self.meta[idx]).is_valid() {
                 return idx;
             }
             if self.lru[idx] < best_lru {
@@ -159,45 +175,60 @@ impl<M: LineMeta> SetAssocArray<M> {
     /// metadata, and mark it MRU. Returns the evicted line's `(tag, meta)`
     /// if the slot held a valid block.
     pub fn fill(&mut self, slot: usize, line: LineAddr, meta: M) -> Option<(LineAddr, M)> {
-        let prev = if self.meta[slot].is_valid() {
-            Some((LineAddr(self.tags[slot]), self.meta[slot].clone()))
-        } else {
-            None
-        };
+        let old = M::from_byte(self.meta[slot]);
+        let prev = old.is_valid().then(|| (LineAddr(self.tags[slot]), old));
         self.stamp += 1;
         self.tags[slot] = line.0;
-        self.meta[slot] = meta;
+        self.meta[slot] = meta.to_byte();
         self.lru[slot] = self.stamp;
         prev
     }
 
-    /// Immutable view of a slot.
+    /// Immutable view of a slot (metadata decoded from the byte column).
     #[inline]
-    pub fn slot(&self, slot: usize) -> LineView<'_, M> {
-        LineView { tag: LineAddr(self.tags[slot]), lru: self.lru[slot], meta: &self.meta[slot] }
+    pub fn slot(&self, slot: usize) -> LineView<M> {
+        LineView {
+            tag: LineAddr(self.tags[slot]),
+            lru: self.lru[slot],
+            meta: M::from_byte(self.meta[slot]),
+        }
     }
 
-    /// Mutable access to a slot's metadata.
+    /// A slot's metadata, decoded.
     #[inline]
-    pub fn meta_mut(&mut self, slot: usize) -> &mut M {
-        &mut self.meta[slot]
+    pub fn meta(&self, slot: usize) -> M {
+        M::from_byte(self.meta[slot])
+    }
+
+    /// Overwrite a slot's metadata (tag and LRU untouched).
+    #[inline]
+    pub fn set_meta(&mut self, slot: usize, meta: M) {
+        self.meta[slot] = meta.to_byte();
+    }
+
+    /// Update a slot's metadata in place (decode → mutate → re-encode).
+    #[inline]
+    pub fn update_meta(&mut self, slot: usize, f: impl FnOnce(&mut M)) {
+        let mut m = M::from_byte(self.meta[slot]);
+        f(&mut m);
+        self.meta[slot] = m.to_byte();
     }
 
     /// Invalidate a slot (metadata reset to default, tag pinned to the
     /// sentinel so the slot can never alias a later probe).
     pub fn invalidate(&mut self, slot: usize) {
         self.tags[slot] = INVALID_TAG;
-        self.meta[slot] = M::default();
+        self.meta[slot] = M::default().to_byte();
     }
 
     /// Iterate over all slots with their flat ids.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, LineView<'_, M>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, LineView<M>)> + '_ {
         (0..self.meta.len()).map(|i| (i, self.slot(i)))
     }
 
     /// Number of currently valid lines.
     pub fn valid_count(&self) -> usize {
-        self.meta.iter().filter(|m| m.is_valid()).count()
+        self.meta.iter().filter(|&&b| M::from_byte(b).is_valid()).count()
     }
 
     /// Set index a flat slot id belongs to.
@@ -216,6 +247,12 @@ mod tests {
     impl LineMeta for V {
         fn is_valid(&self) -> bool {
             self.0
+        }
+        fn to_byte(&self) -> u8 {
+            self.0.into()
+        }
+        fn from_byte(b: u8) -> Self {
+            V(b != 0)
         }
     }
 

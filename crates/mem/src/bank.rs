@@ -408,18 +408,25 @@ pub struct BankArena {
     stats: ArenaStats,
 }
 
-fn take_from_pool<T: Copy>(pool: &mut Vec<Vec<T>>, len: usize, fill: T) -> (Vec<T>, bool) {
-    // Best fit: the smallest pooled buffer whose capacity covers `len`.
+/// Check a cleared buffer of capacity ≥ `cap` out of `pool`, best-fit
+/// (the smallest pooled buffer that covers `cap`); `None` if no pooled
+/// buffer is large enough. The single checkout routine behind every
+/// `take_*` flavour, so pool policy changes land in one place.
+fn checkout<T>(pool: &mut Vec<Vec<T>>, cap: usize) -> Option<Vec<T>> {
     let mut best: Option<usize> = None;
     for (i, v) in pool.iter().enumerate() {
-        if v.capacity() >= len && best.is_none_or(|b| v.capacity() < pool[b].capacity()) {
+        if v.capacity() >= cap && best.is_none_or(|b| v.capacity() < pool[b].capacity()) {
             best = Some(i);
         }
     }
-    match best {
-        Some(i) => {
-            let mut v = pool.swap_remove(i);
-            v.clear();
+    let mut v = pool.swap_remove(best?);
+    v.clear();
+    Some(v)
+}
+
+fn take_from_pool<T: Copy>(pool: &mut Vec<Vec<T>>, len: usize, fill: T) -> (Vec<T>, bool) {
+    match checkout(pool, len) {
+        Some(mut v) => {
             v.resize(len, fill);
             (v, true)
         }
@@ -438,6 +445,18 @@ impl BankArena {
     /// Check out a `u8` buffer of `len` elements, all set to `fill`.
     pub fn take_u8(&mut self, len: usize, fill: u8) -> Vec<u8> {
         let (v, reused) = take_from_pool(&mut self.u8_pool, len, fill);
+        self.note(reused);
+        v
+    }
+
+    /// Check out an **empty** `u8` buffer with capacity for at least
+    /// `cap` elements — for append-style consumers (stream encoders)
+    /// that would otherwise pay a fill memset just to clear it again.
+    pub fn take_u8_empty(&mut self, cap: usize) -> Vec<u8> {
+        let (v, reused) = match checkout(&mut self.u8_pool, cap) {
+            Some(v) => (v, true),
+            None => (Vec::with_capacity(cap), false),
+        };
         self.note(reused);
         v
     }

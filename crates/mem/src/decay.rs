@@ -204,10 +204,13 @@ impl DecayBank {
     ///
     /// The hot path of every decay simulation: hand-specialised over the
     /// packed words rather than routed through
-    /// [`DecayBank::scan_tickable`]'s callback, with a slice walk for
-    /// fully tickable words (a dense region costs one branchy increment
-    /// per slot, like the naive loop, instead of a per-bit extraction
-    /// chain) — semantics identical to the sequential per-slot scan.
+    /// [`DecayBank::scan_tickable`]'s callback. Fully tickable words
+    /// take a slice fast path that splits the counter walk (a branchless
+    /// `+1` over 64 bytes — live∧armed implies unsaturated, an invariant
+    /// this bank maintains itself) from saturation detection (a separate
+    /// equality scan), so both passes auto-vectorize and the 100 %-live
+    /// corner beats the naive per-line loop instead of trailing it —
+    /// semantics identical to the sequential per-slot scan.
     fn tick(&mut self, st: &mut LineStateBank, decayed: &mut Vec<usize>) {
         self.stats.ticks += 1;
         let sat = self.cfg.saturation();
@@ -227,26 +230,36 @@ impl DecayBank {
                 let mut bits = st.tickable_word(i);
                 if bits == !0u64 {
                     let base = i * 64;
-                    // Saturations are rare per tick: collect them as a
-                    // bitmask during the slice walk, resolve after.
-                    let mut saturated = 0u64;
-                    let mut increments = 0u64;
-                    for (j, c) in st.counters_mut()[base..base + 64].iter_mut().enumerate() {
-                        if *c < sat {
-                            *c += 1;
-                            increments += 1;
-                            if *c == sat {
-                                saturated |= 1 << j;
-                            }
-                        }
+                    // Dense fast path, split into two passes. The
+                    // counter walk is a branchless byte add with a
+                    // running max — a live, armed counter is always
+                    // below saturation (the bank's own bookkeeping
+                    // guarantees it: saturation clears the live bit,
+                    // accesses reset to zero), so no per-slot guard is
+                    // needed and the loop vectorizes to packed add/max.
+                    let col = &mut st.counters_mut()[base..base + 64];
+                    let mut mx = 0u8;
+                    for c in col.iter_mut() {
+                        debug_assert!(*c < sat, "live+armed counter at/past saturation");
+                        *c += 1;
+                        mx = mx.max(*c);
                     }
-                    self.stats.increments += increments;
-                    while saturated != 0 {
-                        let slot = base + saturated.trailing_zeros() as usize;
-                        saturated &= saturated - 1;
-                        st.clear_live(slot);
-                        self.stats.decays += 1;
-                        decayed.push(slot);
+                    self.stats.increments += 64;
+                    // Saturation detection runs only on the (rare)
+                    // ticks where the max reached the ceiling: collect
+                    // the saturated slots as a bitmask, resolve after.
+                    if mx >= sat {
+                        let mut saturated = 0u64;
+                        for (j, &c) in col.iter().enumerate() {
+                            saturated |= u64::from(c == sat) << j;
+                        }
+                        while saturated != 0 {
+                            let slot = base + saturated.trailing_zeros() as usize;
+                            saturated &= saturated - 1;
+                            st.clear_live(slot);
+                            self.stats.decays += 1;
+                            decayed.push(slot);
+                        }
                     }
                     continue;
                 }

@@ -22,6 +22,12 @@ impl LineMeta for Present {
     fn is_valid(&self) -> bool {
         self.0
     }
+    fn to_byte(&self) -> u8 {
+        self.0.into()
+    }
+    fn from_byte(b: u8) -> Self {
+        Present(b != 0)
+    }
 }
 
 /// Tag-only mirror of a cache with baseline (always-on) behaviour.

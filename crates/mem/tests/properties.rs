@@ -15,6 +15,12 @@ impl LineMeta for V {
     fn is_valid(&self) -> bool {
         self.0
     }
+    fn to_byte(&self) -> u8 {
+        self.0.into()
+    }
+    fn from_byte(b: u8) -> Self {
+        V(b != 0)
+    }
 }
 
 /// Reference model of a set-associative LRU cache: per set, a VecDeque

@@ -26,6 +26,12 @@ impl cmpleak_mem::array::LineMeta for L1Meta {
     fn is_valid(&self) -> bool {
         self.valid
     }
+    fn to_byte(&self) -> u8 {
+        self.valid.into()
+    }
+    fn from_byte(b: u8) -> Self {
+        Self { valid: b != 0 }
+    }
 }
 
 /// A waiting load: id for the core, issue cycle for AMAT accounting.

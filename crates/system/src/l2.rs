@@ -22,7 +22,9 @@
 
 use crate::config::L2Config;
 use crate::stats::L2Stats;
-use cmpleak_coherence::mesi::{fill_state, step, Event, MesiState, SnoopContext, Transition};
+use cmpleak_coherence::mesi::{
+    fill_state, step, Event, MesiState, PendingInval, SnoopContext, Transition,
+};
 use cmpleak_coherence::{bus::SnoopKind, DecayArming, Technique};
 use cmpleak_mem::{
     BankArena, DecayBank, DecayConfig, Geometry, LineAddr, LineStateBank, LookupOutcome, Mshr,
@@ -47,6 +49,35 @@ impl Default for L2Meta {
 impl cmpleak_mem::array::LineMeta for L2Meta {
     fn is_valid(&self) -> bool {
         self.state.is_valid()
+    }
+
+    /// MESI(+TC/TD with reason) in the low three bits, `in_l1` in bit 3.
+    fn to_byte(&self) -> u8 {
+        let state = match self.state {
+            MesiState::Invalid => 0u8,
+            MesiState::Shared => 1,
+            MesiState::Exclusive => 2,
+            MesiState::Modified => 3,
+            MesiState::TransientClean(PendingInval::SnoopRdX) => 4,
+            MesiState::TransientClean(PendingInval::TurnOff) => 5,
+            MesiState::TransientDirty(PendingInval::SnoopRdX) => 6,
+            MesiState::TransientDirty(PendingInval::TurnOff) => 7,
+        };
+        state | (u8::from(self.in_l1) << 3)
+    }
+
+    fn from_byte(b: u8) -> Self {
+        let state = match b & 0b111 {
+            0 => MesiState::Invalid,
+            1 => MesiState::Shared,
+            2 => MesiState::Exclusive,
+            3 => MesiState::Modified,
+            4 => MesiState::TransientClean(PendingInval::SnoopRdX),
+            5 => MesiState::TransientClean(PendingInval::TurnOff),
+            6 => MesiState::TransientDirty(PendingInval::SnoopRdX),
+            _ => MesiState::TransientDirty(PendingInval::TurnOff),
+        };
+        Self { state, in_l1: b & 0b1000 != 0 }
     }
 }
 
@@ -290,7 +321,7 @@ impl L2Cache {
     /// The L1 filled/evicted `line`: keep the inclusion bit exact.
     pub fn set_in_l1(&mut self, line: LineAddr, val: bool) {
         if let LookupOutcome::Hit(slot) = self.tags.probe(line) {
-            self.tags.meta_mut(slot).in_l1 = val;
+            self.tags.update_meta(slot, |m| m.in_l1 = val);
         }
     }
 
@@ -382,7 +413,7 @@ impl L2Cache {
             self.stats.writebacks += 1;
         }
         if t.invalidate_upper {
-            self.tags.meta_mut(slot).in_l1 = false;
+            self.tags.update_meta(slot, |m| m.in_l1 = false);
             fx.upper_invals.push((line, technique_induced));
             fx.grants.push((now + self.cfg.upper_inval_latency, slot, line));
         }
@@ -408,7 +439,7 @@ impl L2Cache {
                     self.power_off(slot, now);
                 }
             } else {
-                self.tags.meta_mut(slot).state = next;
+                self.tags.update_meta(slot, |m| m.state = next);
                 self.apply_arming(slot, next);
             }
         }
@@ -471,7 +502,7 @@ impl L2Cache {
                     MesiState::Exclusive => {
                         // Silent E -> M upgrade.
                         self.tags.touch(slot);
-                        self.tags.meta_mut(slot).state = MesiState::Modified;
+                        self.tags.update_meta(slot, |m| m.state = MesiState::Modified);
                         self.apply_arming(slot, MesiState::Modified);
                         self.decay_access(slot);
                         self.shadow_access(line);
@@ -517,6 +548,21 @@ impl L2Cache {
                     L2WriteOutcome::Retry
                 }
             },
+        }
+    }
+
+    /// Whether [`L2Cache::probe_read`] for `line` would return
+    /// [`L2ReadOutcome::Retry`] — the non-mutating mirror of its retry
+    /// conditions (transient line, or MSHR unable to accept). Used by
+    /// the quiescence-skipping kernel: while the head of a read queue
+    /// provably keeps retrying, the cache's state can only change
+    /// through events or bus grants — both wakeup sources — so a
+    /// read-burst span blocked on a saturated MSHR or a transient line
+    /// no longer forces per-cycle stepping.
+    pub fn read_would_retry(&self, line: LineAddr) -> bool {
+        match self.tags.probe(line) {
+            LookupOutcome::Hit(slot) => !self.tags.slot(slot).meta.state.is_stationary(),
+            LookupOutcome::Miss => !self.mshr.would_accept(line),
         }
     }
 
@@ -654,7 +700,7 @@ impl L2Cache {
     pub fn complete_upgrade(&mut self, line: LineAddr, now: u64) -> UpgradeResult {
         match self.tags.probe(line) {
             LookupOutcome::Hit(slot) if self.tags.slot(slot).meta.state == MesiState::Shared => {
-                self.tags.meta_mut(slot).state = MesiState::Modified;
+                self.tags.update_meta(slot, |m| m.state = MesiState::Modified);
                 self.apply_arming(slot, MesiState::Modified);
                 self.decay_access(slot);
                 self.tags.touch(slot);

@@ -30,7 +30,8 @@ pub mod system;
 pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig, SimKernel};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
 pub use system::{
-    run_simulation, run_simulation_with_scratch, CmpSystem, EventQueueStats, SimScratch,
+    run_simulation, run_simulation_with_scratch, run_sources_with_scratch, CmpSystem,
+    EventQueueStats, SimScratch,
 };
 
 // Re-exported so scratch-pool consumers can read arena counters without

@@ -25,16 +25,18 @@
 //!   the reference;
 //! * **quiescence-skipping** (default) — before stepping, the kernel
 //!   checks whether any component can make progress *this* cycle. A cycle
-//!   is *quiet* when no event is due, the bus cannot grant, all L2 read
-//!   queues are empty, any pending write drain is provably stuck (the
-//!   head of the retry queue / write buffer would be refused by the L2 —
-//!   a state only an event or bus grant can change), no decay tick or
+//!   is *quiet* when no event is due, the bus cannot grant, any pending
+//!   L1 read miss and any pending write drain are provably stuck (the
+//!   head of the read queue / retry queue / write buffer would be
+//!   refused by the L2 — a state only an event or bus grant can change),
+//!   no decay tick or
 //!   deferred turn-off is due, and every core is blocked (drained,
 //!   window-full behind an incomplete load, or spinning on a load/store
 //!   the hierarchy provably keeps refusing). Quiet cycles change nothing
 //!   except time, the powered-lines integral and constant per-cycle
 //!   stall counters (core stalls, write-buffer full-stalls, the blocked
-//!   drain head's L2 retries) — all linear in the span — so the kernel
+//!   read and write-drain heads' L2 retries) — all linear in the span —
+//!   so the kernel
 //!   advances `now` directly to the next wakeup: the earliest of (next
 //!   event, bus grant/drain horizon, decay tick, sampling-interval
 //!   boundary). The skipped span provably contains no activity, the
@@ -48,7 +50,7 @@ use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
 use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
 use crate::stats::{IntervalActivity, SimStats};
 use cmpleak_coherence::bus::SnoopKind;
-use cmpleak_cpu::{CoreModel, CorePort, ProgressState, StallKind, Workload};
+use cmpleak_cpu::{CoreModel, CorePort, LiveGen, OpSource, ProgressState, StallKind, Workload};
 use cmpleak_mem::{ArenaStats, BankArena, Geometry, LineAddr, WriteBuffer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -445,7 +447,10 @@ pub struct CmpSystem {
     cfg: CmpConfig,
     now: u64,
     cores: Vec<CoreModel>,
-    workloads: Vec<Box<dyn Workload>>,
+    /// Per-core op delivery channels: live generators (wrapped in
+    /// [`LiveGen`]), file-trace replays, or shared in-memory trace
+    /// cursors — anything honouring the [`OpSource`] budget contract.
+    sources: Vec<Box<dyn OpSource>>,
     l1s: Vec<L1Cache>,
     wbs: Vec<WriteBuffer>,
     l2s: Vec<L2Cache>,
@@ -488,7 +493,8 @@ impl std::fmt::Debug for CmpSystem {
 }
 
 impl CmpSystem {
-    /// Build a system running one workload per core.
+    /// Build a system running one live workload generator per core
+    /// (each wrapped in a [`LiveGen`] op source).
     ///
     /// # Panics
     /// Panics unless exactly `cfg.n_cores` workloads are supplied, or if
@@ -509,8 +515,23 @@ impl CmpSystem {
         workloads: Vec<Box<dyn Workload>>,
         scratch: &mut SimScratch,
     ) -> Self {
+        Self::with_sources(cfg, workloads.into_iter().map(LiveGen::boxed).collect(), scratch)
+    }
+
+    /// Build a system over arbitrary per-core [`OpSource`] backends —
+    /// the general constructor behind [`CmpSystem::new_with_scratch`],
+    /// used directly when cores replay shared in-memory trace cursors.
+    ///
+    /// # Panics
+    /// Panics unless exactly `cfg.n_cores` sources are supplied, or if
+    /// the configuration is invalid.
+    pub fn with_sources(
+        cfg: CmpConfig,
+        sources: Vec<Box<dyn OpSource>>,
+        scratch: &mut SimScratch,
+    ) -> Self {
         cfg.validate();
-        assert_eq!(workloads.len(), cfg.n_cores, "one workload per core");
+        assert_eq!(sources.len(), cfg.n_cores, "one op source per core");
         let cores =
             (0..cfg.n_cores).map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core)).collect();
         let mut arena = std::mem::take(&mut scratch.arena);
@@ -533,7 +554,7 @@ impl CmpSystem {
         Self {
             now: 0,
             cores,
-            workloads,
+            sources,
             l1s,
             wbs,
             l2s,
@@ -668,8 +689,18 @@ impl CmpSystem {
             return None;
         }
         for core in 0..self.cfg.n_cores {
-            if !self.read_queues[core].is_empty() || self.l2s[core].has_deferred_turnoffs() {
+            if self.l2s[core].has_deferred_turnoffs() {
                 return None;
+            }
+            // A pending L1 read miss blocks the span only if the L2
+            // provably keeps refusing the queue's head (transient line /
+            // full MSHR). The refusal is stable until an event or bus
+            // grant — both wakeup sources — so read-burst spans jammed
+            // on a saturated MSHR are skippable like write bursts.
+            if let Some(&line) = self.read_queues[core].front() {
+                if !self.l2s[core].read_would_retry(line) {
+                    return None;
+                }
             }
             // A pending write drain blocks the span only if the L2
             // provably keeps refusing its head (retry queue first, then
@@ -759,9 +790,13 @@ impl CmpSystem {
                 }
                 ProgressState::Ready => unreachable!("quiescence check vetted all cores"),
             }
+            // The port loop re-probes each blocked queue head once per
+            // cycle, counting one retry per probe: one for a jammed read
+            // head, one for a jammed write-drain head.
+            if !self.read_queues[core].is_empty() {
+                self.l2s[core].charge_retries(span);
+            }
             if self.write_retries[core].front().or_else(|| self.wbs[core].head()).is_some() {
-                // The port loop re-probes the blocked head once per
-                // cycle, counting one retry each time.
                 self.l2s[core].charge_retries(span);
             }
         }
@@ -935,20 +970,25 @@ impl CmpSystem {
             let Some(&line) = self.read_queues[core].front() else {
                 break;
             };
-            work = true;
             match self.l2s[core].probe_read(line) {
                 L2ReadOutcome::Hit => {
+                    work = true;
                     self.read_queues[core].pop_front();
                     let done = self.now + self.l2s[core].hit_latency();
                     self.events.push(done, EvKind::L2ReadDone { core, line });
                 }
                 L2ReadOutcome::MissPrimary => {
+                    work = true;
                     self.read_queues[core].pop_front();
                     self.bus.push(BusReq { origin: core, line, kind: BusReqKind::ReadMiss });
                 }
                 L2ReadOutcome::MissSecondary => {
+                    work = true;
                     self.read_queues[core].pop_front();
                 }
+                // A retried head changes nothing structural (one retry
+                // counter tick only): not reported as work, so the skip
+                // kernel gets to probe whether the blockage is provable.
                 L2ReadOutcome::Retry => break,
             }
             ops += 1;
@@ -1031,7 +1071,7 @@ impl CmpSystem {
                 read_queue: &mut self.read_queues[core],
                 events: &mut self.events,
             };
-            any |= self.cores[core].tick(self.workloads[core].as_mut(), &mut port) > 0;
+            any |= self.cores[core].tick(self.sources[core].as_mut(), &mut port) > 0;
         }
         any
     }
@@ -1108,7 +1148,7 @@ impl CmpSystem {
             cycles: now,
             instructions: self.cores.iter().map(|c| c.stats().instructions).sum(),
             cores: self.cores.iter().map(|c| c.stats()).collect(),
-            core_workloads: self.workloads.iter().map(|w| w.name().to_string()).collect(),
+            core_workloads: self.sources.iter().map(|s| s.name().to_string()).collect(),
             l1: self.l1s.iter().map(|l| l.stats()).collect(),
             l2: self.l2s.iter().map(|l| l.stats()).collect(),
             l2_on_line_cycles: on,
@@ -1162,7 +1202,17 @@ pub fn run_simulation_with_scratch(
     workloads: Vec<Box<dyn Workload>>,
     scratch: &mut SimScratch,
 ) -> SimStats {
-    let mut sys = CmpSystem::new_with_scratch(cfg, workloads, scratch);
+    run_sources_with_scratch(cfg, workloads.into_iter().map(LiveGen::boxed).collect(), scratch)
+}
+
+/// [`run_simulation_with_scratch`] over arbitrary per-core [`OpSource`]
+/// backends (shared trace cursors, file replays, wrapped generators).
+pub fn run_sources_with_scratch(
+    cfg: CmpConfig,
+    sources: Vec<Box<dyn OpSource>>,
+    scratch: &mut SimScratch,
+) -> SimStats {
+    let mut sys = CmpSystem::with_sources(cfg, sources, scratch);
     sys.run_loop();
     let stats = sys.finalize();
     sys.reclaim_scratch(scratch);
@@ -1461,6 +1511,42 @@ mod tests {
             assert!(rejects > 0, "cores must actually block on refused stores");
             let retries: u64 = stats.l2.iter().map(|s| s.retries).sum();
             assert!(retries > 0, "the blocked drain head must accrue L2 retries");
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_through_blocked_read_bursts() {
+        // Load bursts to distinct lines: the L1 MSHRs outpace the L2
+        // MSHRs behind a slow memory, so the L2 read queues jam on a
+        // head the cache provably keeps refusing. These spans used to
+        // force per-cycle stepping (a non-empty read queue vetoed
+        // skipping); they are now skipped, and every bulk-charged
+        // counter (window stalls, the read head's L2 retries) must match
+        // the per-cycle reference exactly.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            (0..2)
+                .map(|c| {
+                    let base = (c as u64 + 1) << 21;
+                    let ops: Vec<TraceOp> =
+                        (0..4096u64).map(|i| TraceOp::Load(base + i * 64)).collect();
+                    Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+                })
+                .collect()
+        };
+        for technique in
+            [Technique::Baseline, Technique::Protocol, Technique::Decay { decay_cycles: 2048 }]
+        {
+            let mut cfg = tiny_cfg(technique);
+            cfg.instructions_per_core = 6_000;
+            cfg.mem.latency = 1_000; // long fills keep the L2 MSHR saturated
+            cfg.l1.mshr_entries = 16; // the L1 feeds faster than the L2 drains
+            cfg.l2.mshr_entries = 2;
+            cfg.core.max_outstanding_loads = 16;
+            let stats = run_both_kernels(cfg, wl);
+            let retries: u64 = stats.l2.iter().map(|s| s.retries).sum();
+            assert!(retries > 0, "the blocked read head must accrue L2 retries");
+            let stalls: u64 = stats.cores.iter().map(|c| c.window_stall_cycles).sum();
+            assert!(stalls > 0, "cores must actually block behind the jammed reads");
         }
     }
 

@@ -147,10 +147,9 @@ impl OpDecoder {
         Self::default()
     }
 
-    /// Decode the next op from `buf` at `*pos`. `None` at end of stream
-    /// or on truncation.
-    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<TraceOp> {
-        let key = read_varint(buf, pos)?;
+    /// Turn a decoded varint key into an op, updating the delta state.
+    #[inline]
+    fn op_from_key(&mut self, key: u64) -> Option<TraceOp> {
         let payload = key >> 2;
         match key & 0b11 {
             TAG_EXEC => Some(TraceOp::Exec(payload.try_into().ok()?)),
@@ -161,6 +160,79 @@ impl OpDecoder {
             }
             _ => None, // tag 3: corrupt stream
         }
+    }
+
+    /// Decode the next op from `buf` at `*pos`. `None` at end of stream
+    /// or on truncation.
+    pub fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<TraceOp> {
+        let key = read_varint(buf, pos)?;
+        self.op_from_key(key)
+    }
+
+    /// Decode up to `out.len()` ops from `buf` at `*pos`, returning how
+    /// many were produced (short only at end of stream or corruption).
+    ///
+    /// Identical to repeated [`OpDecoder::decode`] (property-tested in
+    /// `tests/roundtrip.rs`), but with the 1- and 2-byte varint cases —
+    /// which cover essentially every op the workspace's generators emit
+    /// — peeled out of the generic shift-accumulate loop. Replay
+    /// cursors refill their batches through this: per-op decode cost is
+    /// what shared-stream sweep cells pay instead of generator work, so
+    /// it must stay below the generators' ns/op even when the branch
+    /// predictor sees interleaved streams.
+    pub fn decode_batch(&mut self, buf: &[u8], pos: &mut usize, out: &mut [TraceOp]) -> usize {
+        let mut p = *pos;
+        let mut n = 0;
+        while n < out.len() && p + 2 <= buf.len() {
+            let b0 = buf[p];
+            let b1 = buf[p + 1];
+            if b0 >= 0x80 && b1 >= 0x80 {
+                // ≥3-byte varint (a huge exec burst or address jump —
+                // rare on real streams): generic path for this op. A
+                // corrupt op stops the batch with the cursor past the
+                // bad varint, exactly where repeated `decode` stops.
+                match self.decode(buf, &mut p) {
+                    Some(op) => {
+                        out[n] = op;
+                        n += 1;
+                        continue;
+                    }
+                    None => {
+                        *pos = p;
+                        return n;
+                    }
+                }
+            }
+            // 1- or 2-byte varint, selected by arithmetic on the
+            // continuation bit: the 1-vs-2-byte pattern of a real
+            // stream is data, not a predictable branch, so folding it
+            // into a mask keeps the decode pipeline full even when
+            // replay interleaves with simulation work.
+            let two = u64::from(b0 >= 0x80);
+            let key = u64::from(b0 & 0x7F) | (u64::from(b1 & 0x7F) << 7) & two.wrapping_neg();
+            p += 1 + two as usize;
+            match self.op_from_key(key) {
+                Some(op) => out[n] = op,
+                None => {
+                    // Corrupt op (tag 3 / oversized exec): stop, cursor
+                    // past the varint, like sequential decode.
+                    *pos = p;
+                    return n;
+                }
+            }
+            n += 1;
+        }
+        // Tail: the last byte of the stream no longer has a 2-byte
+        // window; finish generically.
+        while n < out.len() {
+            match self.decode(buf, &mut p) {
+                Some(op) => out[n] = op,
+                None => break,
+            }
+            n += 1;
+        }
+        *pos = p;
+        n
     }
 }
 
@@ -359,6 +431,42 @@ mod tests {
         let decoded: Vec<TraceOp> = std::iter::from_fn(|| dec.decode(&buf, &mut pos)).collect();
         assert_eq!(decoded, ops);
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn batch_decode_stops_at_corrupt_ops_like_sequential_decode() {
+        // Three corruption shapes: a tag-3 key (1-byte fast path), an
+        // oversized Exec payload behind a long varint (generic path),
+        // and a tag-3 key in a 2-byte varint. In each case the batch
+        // decoder must produce exactly the ops sequential decode does
+        // and leave the cursor at the same byte.
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0x03], // tag 3, 1-byte
+            {
+                let mut v = Vec::new();
+                write_varint(&mut v, (u64::from(u32::MAX) + 1) << 2); // Exec > u32::MAX
+                v
+            },
+            vec![0x83, 0x01], // 2-byte varint, tag 3
+        ];
+        for corrupt in cases {
+            let mut enc = OpEncoder::new();
+            let mut buf = Vec::new();
+            enc.encode(TraceOp::Exec(5), &mut buf);
+            enc.encode(TraceOp::Load(0x1000), &mut buf);
+            buf.extend_from_slice(&corrupt);
+            enc.encode(TraceOp::Store(0x1040), &mut buf); // after the corruption
+            let mut seq = OpDecoder::new();
+            let mut sp = 0;
+            let sequential: Vec<TraceOp> =
+                std::iter::from_fn(|| seq.decode(&buf, &mut sp)).collect();
+            let mut bat = OpDecoder::new();
+            let mut bp = 0;
+            let mut out = [TraceOp::Exec(0); 16];
+            let n = bat.decode_batch(&buf, &mut bp, &mut out);
+            assert_eq!(&out[..n], &sequential[..], "ops diverged for {corrupt:?}");
+            assert_eq!(bp, sp, "cursor diverged for {corrupt:?}");
+        }
     }
 
     #[test]

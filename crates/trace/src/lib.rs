@@ -16,12 +16,18 @@
 //! captures everything any same-budget simulation will ask for.
 //!
 //! See [`format`] for the file layout (varint ops, delta-encoded
-//! addresses, ≈2 bytes/op on the workspace's generators).
+//! addresses, ≈2 bytes/op on the workspace's generators). [`mem`] holds
+//! the same encoding without the file: an arena-backed [`MemTrace`]
+//! records a workload set once and any number of per-core
+//! [`MemTraceCursor`]s replay it concurrently — the substrate of the
+//! sweep planner's shared op streams.
 
 pub mod format;
+pub mod mem;
 pub mod reader;
 pub mod writer;
 
 pub use format::{CoreStreamInfo, OpDecoder, OpEncoder, TraceHeader, MAGIC, VERSION};
+pub use mem::{MemTrace, MemTraceCursor};
 pub use reader::{TraceFile, TraceWorkload};
 pub use writer::{record_workloads, TraceRecorder};

@@ -1,7 +1,14 @@
 //! Recording live workloads into trace files.
+//!
+//! The recorder is a file-writing veneer over the in-memory
+//! [`MemTrace`]: one recording engine serves both the shared-stream
+//! path (sweep cells replaying cursors) and the `.cmpt` file tooling,
+//! so their byte streams cannot drift apart.
 
-use crate::format::{CoreStreamInfo, OpEncoder, TraceHeader, VERSION};
+use crate::format::{CoreStreamInfo, TraceHeader};
+use crate::mem::MemTrace;
 use cmpleak_cpu::Workload;
+use cmpleak_mem::BankArena;
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -14,71 +21,44 @@ use std::path::Path;
 /// every fetch).
 #[derive(Debug)]
 pub struct TraceRecorder {
-    label: String,
-    seed: u64,
-    cores: Vec<RecordedCore>,
-}
-
-#[derive(Debug)]
-struct RecordedCore {
-    info: CoreStreamInfo,
-    bytes: Vec<u8>,
+    trace: MemTrace,
+    arena: BankArena,
 }
 
 impl TraceRecorder {
     /// Start a recording labelled `label` (scenario/benchmark name) for
     /// streams generated under `seed`.
     pub fn new(label: impl Into<String>, seed: u64) -> Self {
-        Self { label: label.into(), seed, cores: Vec::new() }
+        Self { trace: MemTrace::new(label, seed), arena: BankArena::default() }
     }
 
     /// Pull ops from `wl` until their cumulative instruction count
     /// reaches `min_instructions`, encoding them as the next core's
     /// stream. Returns the recorded stream's metadata.
     pub fn record_core(&mut self, wl: &mut dyn Workload, min_instructions: u64) -> &CoreStreamInfo {
-        let mut enc = OpEncoder::new();
-        let mut bytes = Vec::new();
-        let (mut ops, mut instructions) = (0u64, 0u64);
-        while instructions < min_instructions {
-            let op = wl.next_op();
-            enc.encode(op, &mut bytes);
-            ops += 1;
-            instructions += op.instructions();
-        }
-        let info = CoreStreamInfo {
-            name: wl.name().to_string(),
-            ops,
-            instructions,
-            len: bytes.len() as u64,
-        };
-        self.cores.push(RecordedCore { info, bytes });
-        &self.cores.last().expect("just pushed").info
+        self.trace.record_core(wl, min_instructions, &mut self.arena)
     }
 
     /// The header describing what has been recorded so far.
     pub fn header(&self) -> TraceHeader {
-        TraceHeader {
-            version: VERSION,
-            label: self.label.clone(),
-            seed: self.seed,
-            cores: self.cores.iter().map(|c| c.info.clone()).collect(),
-        }
+        self.trace.header()
+    }
+
+    /// The recording itself, for in-memory replay without a file.
+    pub fn into_mem_trace(self) -> MemTrace {
+        self.trace
     }
 
     /// Serialize the whole trace file (header + streams).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = self.header().encode();
-        for c in &self.cores {
-            out.extend_from_slice(&c.bytes);
-        }
-        out
+        self.trace.to_file_bytes()
     }
 
     /// Write the trace file through `w`.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(&self.header().encode())?;
-        for c in &self.cores {
-            w.write_all(&c.bytes)?;
+        for core in 0..self.trace.n_cores() {
+            w.write_all(self.trace.stream(core))?;
         }
         Ok(())
     }
@@ -137,5 +117,18 @@ mod tests {
         let total: u64 = header.byte_len() + header.cores.iter().map(|c| c.len).sum::<u64>();
         assert_eq!(bytes.len() as u64, total);
         assert_eq!(header.stream_offset(1), header.byte_len() + header.cores[0].len);
+    }
+
+    #[test]
+    fn recorder_converts_into_a_replayable_mem_trace() {
+        let mut wl = ReplayWorkload::named("t", vec![TraceOp::Exec(1), TraceOp::Load(64)]);
+        let mut rec = TraceRecorder::new("unit", 9);
+        rec.record_core(&mut wl, 8);
+        let trace = std::sync::Arc::new(rec.into_mem_trace());
+        let mut cur = trace.cursor(0);
+        let mut live = ReplayWorkload::named("t", vec![TraceOp::Exec(1), TraceOp::Load(64)]);
+        for _ in 0..cur.total_ops() {
+            assert_eq!(cmpleak_cpu::Workload::next_op(&mut cur), live.next_op());
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! on.
 
 use cmpleak_cpu::{TraceOp, Workload};
-use cmpleak_trace::{record_workloads, TraceFile, TraceRecorder};
+use cmpleak_trace::{record_workloads, OpDecoder, OpEncoder, TraceFile, TraceRecorder};
 use cmpleak_workloads::{GenerationalWorkload, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -33,6 +33,48 @@ proptest! {
             prop_assert_eq!(r, l, "op {} diverged", i);
         }
         prop_assert!(replay.try_next_op().is_none());
+    }
+
+    /// The fast batch decoder (1/2-byte varint fast paths + generic
+    /// fallback) equals sequential `decode`, for arbitrary op mixes —
+    /// including large deltas that force long varints — and for every
+    /// split of the stream into odd-sized batches.
+    #[test]
+    fn batch_decode_equals_sequential_decode(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0u32..1 << 20).prop_map(TraceOp::Exec),
+                any::<u64>().prop_map(|a| TraceOp::Load(a >> 4)),
+                any::<u64>().prop_map(|a| TraceOp::Store(a >> 4)),
+            ],
+            1..200,
+        ),
+        chunk in 1usize..70,
+    ) {
+        let mut enc = OpEncoder::new();
+        let mut buf = Vec::new();
+        for &op in &ops {
+            enc.encode(op, &mut buf);
+        }
+        let mut seq = OpDecoder::new();
+        let mut sp = 0;
+        let sequential: Vec<TraceOp> =
+            std::iter::from_fn(|| seq.decode(&buf, &mut sp)).collect();
+        prop_assert_eq!(&sequential, &ops);
+
+        let mut bat = OpDecoder::new();
+        let mut bp = 0;
+        let mut batched = Vec::new();
+        let mut out = vec![TraceOp::Exec(0); chunk];
+        loop {
+            let n = bat.decode_batch(&buf, &mut bp, &mut out);
+            batched.extend_from_slice(&out[..n]);
+            if n < chunk {
+                break;
+            }
+        }
+        prop_assert_eq!(&batched, &ops, "batch decode diverged (chunk {})", chunk);
+        prop_assert_eq!(bp, sp, "batch decode must consume the same bytes");
     }
 
     /// The encoded stream is compact: well under 4 bytes per op on the

@@ -13,7 +13,7 @@
 use cmp_leakage::coherence::Technique;
 use cmp_leakage::core::{run_experiment, ExperimentConfig, Scenario};
 use cmp_leakage::system::SimKernel;
-use cmp_leakage::workloads::{ScenarioSpec, WorkloadSpec};
+use cmp_leakage::workloads::{BenchClass, ScenarioSpec, WorkloadSpec};
 use proptest::prelude::*;
 
 const INSTR: u64 = 25_000;
@@ -59,6 +59,37 @@ fn kernels_agree_for_every_technique_mix() {
     // bursty_idle is the skip kernel's best case (long all-blocked
     // spans) and thus its most bug-exposing scenario.
     differential_over_techniques(Scenario::Mix(ScenarioSpec::bursty_idle()), "mix_bursty_idle");
+}
+
+#[test]
+fn kernels_agree_for_every_technique_read_burst() {
+    // A read-burst stresser: pure-load streaming bursts with no exec
+    // gaps, so the L1s fire misses into the L2 read queues as fast as
+    // dispatch allows. Spans where a jammed read head provably keeps
+    // retrying (transient line / saturated MSHR) are skippable since
+    // `L2Cache::read_would_retry`; this pins that the skip stays
+    // bit-identical through read-dominated phases for every technique.
+    // (The queue-jam microstructure itself — small MSHRs behind a slow
+    // memory — is additionally pinned by the system crate's
+    // `kernels_bit_identical_through_blocked_read_bursts` unit test.)
+    let read_burst = WorkloadSpec {
+        name: "read_burst",
+        class: BenchClass::Scientific,
+        pool_regions: 64,
+        region_bytes: 64 * 1024,
+        hot_regions: 2,
+        generation_bursts: 4,
+        burst_lines: 64,
+        accesses_per_line: 1,
+        exec_gap: (0, 0),
+        store_lines: 0.0,
+        write_fraction: 0.0,
+        shared_fraction: 0.05,
+        shared_regions: 4,
+        share_epoch_ops: 50_000,
+        revisit: false,
+    };
+    differential_over_techniques(Scenario::Homogeneous(read_burst), "read_burst");
 }
 
 #[test]
