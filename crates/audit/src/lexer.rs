@@ -1,0 +1,402 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Just enough of the language to walk a source file token by token
+//! without being fooled by the constructs that defeat naive grepping:
+//! line and (nested) block comments, string/char/byte/raw-string
+//! literals, lifetimes, and raw identifiers. The rule engine only ever
+//! looks at identifier and punctuation tokens, so everything else is
+//! lexed solely to be skipped *correctly* — a `HashMap` inside a string
+//! literal or a doc comment must never fire a determinism lint.
+//!
+//! Precedent for hand-rolling rather than pulling in `syn`: the build
+//! environment is offline, and the workspace already hand-rolls its
+//! serde-derive proc macro for the same reason.
+
+/// What a token is. Comments are kept as tokens (not skipped) because
+/// `// audit:allow(...)` escape hatches live inside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `// ...` including doc comments `///` and `//!`.
+    LineComment,
+    /// `/* ... */`, nesting handled.
+    BlockComment,
+    /// `"..."` or `b"..."` with escapes.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` with any number of hashes.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'static`, `'a` — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer part only; `1.5` lexes as Num Punct Num).
+    Num,
+    /// Any single other character.
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into a token stream. Whitespace is dropped; everything
+/// else, comments included, becomes a token. The lexer is total: any
+/// byte sequence produces *some* stream (unterminated literals run to
+/// end of file), because the audit must degrade gracefully on files it
+/// half-understands rather than crash the CI gate.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines inside `src[from..to]` and advance the line counter.
+    let count_lines = |from: usize, to: usize, line: &mut u32| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        let start = i;
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            match b[i + 1] {
+                b'/' => {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::LineComment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                b'*' => {
+                    i += 2;
+                    let mut depth = 1usize;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    count_lines(start, i, &mut line);
+                    toks.push(Tok {
+                        kind: TokKind::BlockComment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings and raw identifiers: r"..."  r#"..."#  br#"..."#
+        // cr"..."  r#ident. Look ahead past an optional b/c prefix.
+        if c == b'r' || ((c == b'b' || c == b'c') && i + 1 < b.len() && b[i + 1] == b'r') {
+            let mut j = i + if c == b'r' { 1 } else { 2 };
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'"' {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                j += 1;
+                'scan: while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    j += 1;
+                }
+                count_lines(start, j, &mut line);
+                toks.push(Tok { kind: TokKind::RawStr, text: &src[start..j], line: start_line });
+                i = j;
+                continue;
+            }
+            if c == b'r' && hashes == 1 && j < b.len() && is_ident_start(b[j]) {
+                // Raw identifier r#type: lex as an Ident with the prefix
+                // stripped so rules match on the real name.
+                let id_start = j;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: &src[id_start..j], line: start_line });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        // Byte strings / byte chars: b"..." b'x'.
+        if c == b'b' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+            i += 1;
+            // Re-enter the loop logic below by treating the quote here.
+            let quote = b[i];
+            let (kind, end) = lex_quoted(b, i, quote);
+            count_lines(start, end, &mut line);
+            toks.push(Tok { kind, text: &src[start..end], line: start_line });
+            i = end;
+            continue;
+        }
+
+        // Strings.
+        if c == b'"' {
+            let (kind, end) = lex_quoted(b, i, b'"');
+            count_lines(start, end, &mut line);
+            toks.push(Tok { kind, text: &src[start..end], line: start_line });
+            i = end;
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == b'\'' {
+            // `'\...'` is always a char; `'x'` is a char; `'ident` with no
+            // closing quote right after one ident char is a lifetime.
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                let (_, end) = lex_quoted(b, i, b'\'');
+                count_lines(start, end, &mut line);
+                toks.push(Tok { kind: TokKind::Char, text: &src[start..end], line: start_line });
+                i = end;
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == b'\'' {
+                i += 3;
+                toks.push(Tok { kind: TokKind::Char, text: &src[start..i], line: start_line });
+                continue;
+            }
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text: &src[start..j], line: start_line });
+                i = j;
+                continue;
+            }
+            // Lone quote (malformed): emit as punct and move on.
+            i += 1;
+            toks.push(Tok { kind: TokKind::Punct, text: &src[start..i], line: start_line });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_cont(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: &src[i..j], line: start_line });
+            i = j;
+            continue;
+        }
+
+        // Numbers (integer prefix; enough to keep `0x1f` one token).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() && (is_ident_cont(b[j])) {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Num, text: &src[i..j], line: start_line });
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        i += c_len(b, i);
+        toks.push(Tok { kind: TokKind::Punct, text: &src[start..i], line: start_line });
+    }
+    toks
+}
+
+/// Length in bytes of the (possibly multi-byte UTF-8) char at `i`.
+fn c_len(b: &[u8], i: usize) -> usize {
+    let c = b[i];
+    if c < 0x80 {
+        1
+    } else if c >= 0xF0 {
+        4
+    } else if c >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+/// Scan a quoted literal starting at the opening quote `b[i] == quote`,
+/// honouring backslash escapes. Returns (kind, end index past the
+/// closing quote). Unterminated literals run to end of input.
+fn lex_quoted(b: &[u8], i: usize, quote: u8) -> (TokKind, usize) {
+    let kind = if quote == b'"' { TokKind::Str } else { TokKind::Char };
+    let mut j = i + 1;
+    while j < b.len() {
+        if b[j] == b'\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == quote {
+            return (kind, j + 1);
+        }
+        j += 1;
+    }
+    (kind, b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = y.z();");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Ident, "y"),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "z"),
+                (TokKind::Punct, "("),
+                (TokKind::Punct, ")"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let t = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], (TokKind::Ident, "a"));
+        assert_eq!(t[1].0, TokKind::BlockComment);
+        assert!(t[1].1.contains("inner"));
+        assert_eq!(t[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn string_containing_line_comment_marker() {
+        let t = kinds(r#"let url = "https://example.com"; x"#);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Str && s.contains("//")));
+        // The `//` inside the string must not have eaten the rest.
+        assert_eq!(*t.last().unwrap(), (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn string_containing_hashmap_is_a_string_token() {
+        let t = kinds(r#"println!("uses HashMap here");"#);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let src = r###"let s = r#"raw " quote // not a comment"#; y"###;
+        let t = kinds(src);
+        assert!(t.iter().any(|(k, s)| *k == TokKind::RawStr && s.contains("not a comment")));
+        assert_eq!(*t.last().unwrap(), (TokKind::Ident, "y"));
+    }
+
+    #[test]
+    fn raw_string_zero_hashes_and_byte_raw_string() {
+        let t = kinds("let a = r\"plain\"; let b = br#\"bytes\"#; z");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::RawStr).count(), 2);
+        assert_eq!(*t.last().unwrap(), (TokKind::Ident, "z"));
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_plain_ident() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "type"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let t = kinds(r#"let s = "a \" b"; tail"#);
+        assert_eq!(*t.last().unwrap(), (TokKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\n/* block\ncomment */\nb";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let t = kinds("/// uses HashMap in prose\nfn f() {}");
+        assert_eq!(t[0].0, TokKind::LineComment);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && *s == "HashMap"));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let t = kinds("let s = \"never closed");
+        assert_eq!(t.last().unwrap().0, TokKind::Str);
+    }
+}

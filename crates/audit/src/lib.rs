@@ -1,0 +1,30 @@
+//! `cmpleak-audit` — workspace determinism & architecture static
+//! analysis.
+//!
+//! The reproduction's correctness contract is bit-identity: the golden
+//! sweep snapshot, the kernel differentials, and the stream-sharing
+//! tests all pin byte-identical results across kernels, thread counts,
+//! and replay paths. This crate turns the implicit determinism rules
+//! that contract relies on into machine-checked policy:
+//!
+//! * [`lexer`] — a minimal hand-rolled Rust lexer (comments, strings,
+//!   raw strings, lifetimes) so rules see code, not prose;
+//! * [`rules`] — determinism lints (hash-iteration order, wall-clock
+//!   reads, ambient RNG, pointer-order casts, interior mutability,
+//!   unwrap-in-library), with `// audit:allow(rule, reason)` escape
+//!   hatches that must carry a reason;
+//! * [`arch`] — the crate layering DAG over every workspace
+//!   `Cargo.toml`;
+//! * [`workspace`] / [`report`] — discovery, orchestration, and the
+//!   human / `--json` report modes.
+//!
+//! Run it with `cargo run -p cmpleak-audit` (CI adds
+//! `--deny-warnings`).
+
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;

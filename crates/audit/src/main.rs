@@ -1,0 +1,101 @@
+//! CLI for the workspace determinism & architecture audit.
+//!
+//! ```text
+//! cargo run -p cmpleak-audit [--] [--json] [--deny-warnings] [--root DIR]
+//! ```
+//!
+//! Exit code 0 when clean, 1 on findings (or warnings under
+//! `--deny-warnings`), 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cmpleak_audit::report::{render_human, render_json};
+use cmpleak_audit::rules::RULE_DOCS;
+use cmpleak_audit::workspace::{audit_workspace, find_root};
+
+fn usage() -> String {
+    let mut s = String::from(
+        "cmpleak-audit: workspace determinism & architecture static analysis\n\n\
+         USAGE: cmpleak-audit [--json] [--deny-warnings] [--root DIR]\n\n\
+         RULES:\n",
+    );
+    for (id, doc) in RULE_DOCS {
+        s.push_str(&format!("  {id:<14} {doc}\n"));
+    }
+    s.push_str(
+        "\nEscape hatch: `// audit:allow(<rule>, <reason>)` on the offending line\n\
+         or the line above. The reason is mandatory.\n",
+    );
+    s
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot locate workspace root: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+
+    if report.is_clean(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,79 @@
+//! Report rendering: a human diff-style mode with `file:line` spans and
+//! a machine-readable `--json` mode (hand-rolled emitter — the audit is
+//! dependency-free by policy, see the layering checker).
+
+use crate::workspace::AuditReport;
+
+/// Human-readable report. Findings carry clickable `file:line:` spans;
+/// the summary line makes the CI log self-explanatory.
+pub fn render_human(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!("{}:{}: deny({}): {}\n", f.file, f.line, f.rule, f.message));
+    }
+    for w in &report.warnings {
+        out.push_str(&format!("{}:{}: warning: {}\n", w.file, w.line, w.message));
+    }
+    out.push_str(&format!(
+        "audit: {} finding(s), {} warning(s) across {} file(s) in {} crate(s)\n",
+        report.findings.len(),
+        report.warnings.len(),
+        report.files_scanned,
+        report.crates_checked,
+    ));
+    out
+}
+
+/// JSON report: `{"findings": [...], "warnings": [...], "summary": {...}}`.
+pub fn render_json(report: &AuditReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"warnings\": [");
+    for (i, w) in report.warnings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(&w.file),
+            w.line,
+            esc(&w.message)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"findings\": {}, \"warnings\": {}, \"files_scanned\": {}, \"crates_checked\": {}}}\n}}\n",
+        report.findings.len(),
+        report.warnings.len(),
+        report.files_scanned,
+        report.crates_checked,
+    ));
+    out
+}
+
+/// Minimal JSON string escape.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

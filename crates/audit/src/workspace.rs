@@ -1,0 +1,176 @@
+//! Workspace discovery and the top-level audit driver.
+//!
+//! Finds the workspace root, enumerates member crates from the root
+//! `Cargo.toml`, classifies each into a role (which decides its rule
+//! set), walks its library sources, and runs the determinism rules plus
+//! the layering checker. Integration tests, benches, examples, and
+//! `src/bin/*` are exempt from the determinism rules by construction:
+//! they are operator-facing code, not simulation state.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::arch::{check_layering, parse_manifest, CrateInfo};
+use crate::rules::{audit_source, FileAudit, Finding, RuleSet, Warning};
+
+/// Everything one audit run produced.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    pub findings: Vec<Finding>,
+    pub warnings: Vec<Warning>,
+    pub files_scanned: usize,
+    pub crates_checked: usize,
+}
+
+impl AuditReport {
+    /// Exit-code semantics: findings always fail; warnings fail only
+    /// under `--deny-warnings`.
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.findings.is_empty() && (!deny_warnings || self.warnings.is_empty())
+    }
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml above the current directory",
+            ));
+        }
+    }
+}
+
+/// Parse the `members = [...]` list out of the root manifest.
+fn workspace_members(root_toml: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for raw in root_toml.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_workspace = line == "[workspace]";
+            in_members = false;
+        }
+        if !in_workspace && !in_members {
+            continue;
+        }
+        let body = if let Some(rest) = line.strip_prefix("members") {
+            in_members = true;
+            rest.trim_start_matches(['=', ' ', '\t'])
+        } else if in_members {
+            line
+        } else {
+            continue;
+        };
+        for part in body.split(',') {
+            let p = part.trim().trim_matches(['[', ']', '"', ' ']);
+            if !p.is_empty() {
+                members.push(p.to_string());
+            }
+        }
+        if body.contains(']') {
+            in_members = false;
+        }
+    }
+    members
+}
+
+/// Which rule set a member crate's library sources are audited under.
+fn rule_set_for(name: &str) -> Option<RuleSet> {
+    match name {
+        // Simulation-state crates: full determinism contract.
+        "cmpleak-mem" | "cmpleak-coherence" | "cmpleak-cpu" | "cmpleak-workloads"
+        | "cmpleak-trace" | "cmpleak-system" | "cmpleak-power" | "cmpleak-core" | "cmp-leakage" => {
+            Some(RuleSet::SIM_STATE)
+        }
+        // The audit tool holds itself to the same bar.
+        "cmpleak-audit" => Some(RuleSet::SIM_STATE),
+        // Benchmark harness: timing is its job; panics are operator-facing.
+        "cmpleak-bench" => Some(RuleSet::HARNESS),
+        // Vendor stand-ins: third-party API surface, exempt from source
+        // rules (the layering checker still constrains them).
+        _ => None,
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable
+/// report order. `skip_bins` drops any path containing a `bin`
+/// directory component.
+fn collect_rs(dir: &Path, skip_bins: bool, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if skip_bins && path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&path, skip_bins, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full audit over the workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let root_toml = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = workspace_members(&root_toml);
+    // The facade package lives in the root manifest itself.
+    members.push(".".to_string());
+
+    let mut report = AuditReport::default();
+    let mut crates: Vec<CrateInfo> = Vec::new();
+
+    for member in &members {
+        let crate_dir = root.join(member);
+        let manifest_path = crate_dir.join("Cargo.toml");
+        let rel_manifest = display_rel(root, &manifest_path);
+        let toml = fs::read_to_string(&manifest_path)?;
+        let info = parse_manifest(&rel_manifest, &toml);
+        let name = info.name.clone();
+        crates.push(info);
+        report.crates_checked += 1;
+
+        let Some(rules) = rule_set_for(&name) else { continue };
+        let mut files = Vec::new();
+        collect_rs(&crate_dir.join("src"), true, &mut files)?;
+        for file in files {
+            let src = fs::read_to_string(&file)?;
+            let rel = display_rel(root, &file);
+            let FileAudit { findings, warnings } = audit_source(&rel, &src, rules);
+            report.findings.extend(findings);
+            report.warnings.extend(warnings);
+            report.files_scanned += 1;
+        }
+    }
+
+    report.findings.extend(check_layering(&crates));
+    // Deterministic report order regardless of discovery order.
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.warnings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Render `path` relative to `root` with forward slashes, for stable
+/// finding labels across platforms.
+fn display_rel(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}

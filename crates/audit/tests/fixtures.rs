@@ -1,0 +1,343 @@
+//! Fixture tests: every rule must (a) fire on a seeded known-bad
+//! snippet with the right span, (b) stay quiet on the equivalent clean
+//! code, and (c) respect `audit:allow(rule, reason)` — but only with a
+//! reason.
+
+use cmpleak_audit::arch::{check_layering, parse_manifest, CrateInfo};
+use cmpleak_audit::rules::{
+    audit_source, FileAudit, RuleSet, AMBIENT_RNG, BAD_ALLOW, HASH_ITER, INTERIOR_MUT, LAYERING,
+    PTR_ORDER, UNWRAP_IN_LIB, WALL_CLOCK,
+};
+
+fn run(src: &str) -> FileAudit {
+    audit_source("fixture.rs", src, RuleSet::SIM_STATE)
+}
+
+/// The rules (with line numbers) that fired.
+fn fired(src: &str) -> Vec<(&'static str, u32)> {
+    run(src).findings.into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+// ---------------------------------------------------------------- hash-iter
+
+#[test]
+fn hash_map_and_set_fire_with_spans() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() {\n\
+               let m: HashMap<u32, u32> = HashMap::new();\n\
+               let s = std::collections::HashSet::<u64>::new();\n\
+               }\n";
+    let got = fired(src);
+    assert_eq!(
+        got,
+        vec![(HASH_ITER, 1), (HASH_ITER, 3), (HASH_ITER, 3), (HASH_ITER, 4)],
+        "every HashMap/HashSet mention must fire on its own line"
+    );
+}
+
+#[test]
+fn btree_collections_are_clean() {
+    let src = "use std::collections::{BTreeMap, BTreeSet};\nfn f() { let m = BTreeMap::<u32, u32>::new(); }\n";
+    assert!(fired(src).is_empty());
+}
+
+#[test]
+fn hash_in_string_comment_and_raw_string_is_clean() {
+    let src = "fn f() -> &'static str {\n\
+               // a HashMap would be wrong here\n\
+               /* HashSet too */\n\
+               let _r = r#\"HashMap in raw string\"#;\n\
+               \"HashMap in a string\"\n\
+               }\n";
+    assert!(fired(src).is_empty());
+}
+
+#[test]
+fn hash_in_cfg_test_module_is_exempt() {
+    let src = "pub fn lib_code() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               use std::collections::HashMap;\n\
+               #[test]\n\
+               fn t() { let _m: HashMap<u32, u32> = HashMap::new(); }\n\
+               }\n";
+    assert!(fired(src).is_empty(), "test modules may hash freely");
+}
+
+#[test]
+fn hash_after_test_module_still_fires() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+               fn t() {}\n\
+               }\n\
+               use std::collections::HashMap;\n";
+    assert_eq!(fired(src), vec![(HASH_ITER, 5)], "exemption must end with the test module");
+}
+
+#[test]
+fn rule_is_off_when_disabled() {
+    let off = RuleSet { hash_iter: false, ..RuleSet::SIM_STATE };
+    let audit = audit_source("fixture.rs", "use std::collections::HashMap;\n", off);
+    assert!(audit.findings.is_empty());
+}
+
+// --------------------------------------------------------------- wall-clock
+
+#[test]
+fn instant_and_system_time_fire() {
+    let src = "use std::time::Instant;\nfn f() { let _t = std::time::SystemTime::now(); }\n";
+    let got = fired(src);
+    assert_eq!(got, vec![(WALL_CLOCK, 1), (WALL_CLOCK, 2)]);
+}
+
+#[test]
+fn harness_rule_set_permits_timing() {
+    let audit = audit_source(
+        "bench.rs",
+        "use std::time::Instant;\nfn t() -> Instant { Instant::now() }\n",
+        RuleSet::HARNESS,
+    );
+    assert!(audit.findings.is_empty(), "the bench harness may read the wall clock");
+}
+
+// -------------------------------------------------------------- ambient-rng
+
+#[test]
+fn ambient_rng_sources_fire() {
+    let src = "fn f() {\n\
+               let mut rng = rand::thread_rng();\n\
+               let r2 = rand::rngs::OsRng;\n\
+               let r3 = StdRng::from_entropy();\n\
+               }\n";
+    let got = fired(src);
+    assert_eq!(got, vec![(AMBIENT_RNG, 2), (AMBIENT_RNG, 3), (AMBIENT_RNG, 4)]);
+}
+
+#[test]
+fn seeded_rng_is_clean() {
+    let src = "fn f(seed: u64) { let rng = SplitMix64::new(seed); }\n";
+    assert!(fired(src).is_empty());
+}
+
+// ---------------------------------------------------------------- ptr-order
+
+#[test]
+fn pointer_to_usize_casts_fire() {
+    let src = "fn f(x: &u32, v: &[u8]) {\n\
+               let a = x as *const u32 as usize;\n\
+               let b = v.as_ptr() as usize;\n\
+               }\n";
+    let got = fired(src);
+    assert_eq!(got, vec![(PTR_ORDER, 2), (PTR_ORDER, 3)]);
+}
+
+#[test]
+fn ordinary_usize_casts_are_clean() {
+    let src = "fn f(x: u32) { let a = x as usize; let b = (x + 1) as usize; }\n";
+    assert!(fired(src).is_empty());
+}
+
+// ------------------------------------------------------------- interior-mut
+
+#[test]
+fn interior_mutability_fires() {
+    let src = "use std::cell::RefCell;\n\
+               static mut COUNTER: u64 = 0;\n\
+               struct S { c: Cell<u32> }\n";
+    let got = fired(src);
+    assert_eq!(got, vec![(INTERIOR_MUT, 1), (INTERIOR_MUT, 2), (INTERIOR_MUT, 3)]);
+}
+
+#[test]
+fn plain_statics_and_atomics_are_clean() {
+    let src = "static TABLE: [u8; 4] = [0; 4];\nuse std::sync::atomic::AtomicU64;\n";
+    assert!(fired(src).is_empty(), "immutable statics and atomics are fine");
+}
+
+// ------------------------------------------------------------ unwrap-in-lib
+
+#[test]
+fn unwrap_expect_and_panic_family_fire() {
+    let src = "fn f(o: Option<u32>) -> u32 {\n\
+               let a = o.unwrap();\n\
+               let b = o.expect(\"present\");\n\
+               if a > b { panic!(\"impossible\") }\n\
+               unreachable!()\n\
+               }\n";
+    let got = fired(src);
+    assert_eq!(
+        got,
+        vec![(UNWRAP_IN_LIB, 2), (UNWRAP_IN_LIB, 3), (UNWRAP_IN_LIB, 4), (UNWRAP_IN_LIB, 5)]
+    );
+}
+
+#[test]
+fn unwrap_in_test_module_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); panic!(\"in test\"); }\n}\n";
+    assert!(fired(src).is_empty());
+}
+
+#[test]
+fn unwrap_or_else_and_expect_err_variants_are_clean() {
+    // Only the aborting forms fire, not the recovering combinators.
+    let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or_else(|| 3) }\n";
+    assert!(fired(src).is_empty());
+}
+
+// -------------------------------------------------------------- audit:allow
+
+#[test]
+fn allow_with_reason_suppresses_same_line() {
+    let src =
+        "use std::collections::HashMap; // audit:allow(hash-iter, membership only, never iterated)\n";
+    let audit = run(src);
+    assert!(audit.findings.is_empty());
+    assert!(audit.warnings.is_empty(), "a used allow is not stale");
+}
+
+#[test]
+fn allow_with_reason_suppresses_next_line() {
+    let src = "// audit:allow(hash-iter, membership only, never iterated)\nuse std::collections::HashMap;\n";
+    assert!(run(src).findings.is_empty());
+}
+
+#[test]
+fn allow_without_reason_does_not_suppress() {
+    let src = "// audit:allow(hash-iter)\nuse std::collections::HashMap;\n";
+    let got = fired(src);
+    assert!(got.contains(&(HASH_ITER, 2)), "the finding must survive: {got:?}");
+    assert!(got.contains(&(BAD_ALLOW, 1)), "and the reasonless allow must be called out: {got:?}");
+}
+
+#[test]
+fn allow_only_covers_its_own_rule() {
+    let src = "// audit:allow(wall-clock, wrong rule)\nuse std::collections::HashMap;\n";
+    let audit = run(src);
+    assert!(
+        audit.findings.iter().any(|f| f.rule == HASH_ITER),
+        "mismatched allow must not suppress"
+    );
+    assert!(audit.warnings.iter().any(|w| w.message.contains("stale")), "and it reads as stale");
+}
+
+#[test]
+fn stale_allow_is_a_warning() {
+    let src = "// audit:allow(hash-iter, nothing here any more)\nfn clean() {}\n";
+    let audit = run(src);
+    assert!(audit.findings.is_empty());
+    assert_eq!(audit.warnings.len(), 1);
+    assert!(audit.warnings[0].message.contains("stale"));
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_flagged() {
+    let src = "// audit:allow(no-such-rule, why)\nfn clean() {}\n";
+    let got = fired(src);
+    assert_eq!(got, vec![(BAD_ALLOW, 1)]);
+}
+
+#[test]
+fn allow_in_doc_comment_is_prose_not_an_allow() {
+    let src = "/// Write `// audit:allow(hash-iter, reason)` to suppress.\nfn doc() {}\n";
+    let audit = run(src);
+    assert!(audit.findings.is_empty());
+    assert!(audit.warnings.is_empty(), "doc prose must not register as a stale allow");
+}
+
+// ----------------------------------------------------------------- layering
+
+fn crate_info(name: &str, deps: &[&str]) -> CrateInfo {
+    CrateInfo {
+        name: name.to_string(),
+        manifest_path: format!("crates/{name}/Cargo.toml"),
+        deps: deps.iter().enumerate().map(|(i, d)| (d.to_string(), i as u32 + 1)).collect(),
+        dev_deps: Vec::new(),
+    }
+}
+
+#[test]
+fn downward_dependencies_are_clean() {
+    let crates = vec![
+        crate_info("cmpleak-mem", &[]),
+        crate_info("cmpleak-system", &["cmpleak-mem", "cmpleak-cpu", "cmpleak-coherence"]),
+        crate_info("cmpleak-core", &["cmpleak-system", "serde"]),
+    ];
+    assert!(check_layering(&crates).is_empty());
+}
+
+#[test]
+fn upward_dependency_fires() {
+    let crates = vec![crate_info("cmpleak-mem", &["cmpleak-system"])];
+    let findings = check_layering(&crates);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, LAYERING);
+    assert!(findings[0].message.contains("strictly downward"), "{}", findings[0].message);
+    assert_eq!(findings[0].file, "crates/cmpleak-mem/Cargo.toml");
+}
+
+#[test]
+fn same_layer_dependency_fires() {
+    let crates = vec![crate_info("cmpleak-workloads", &["cmpleak-trace"])];
+    let findings = check_layering(&crates);
+    assert_eq!(findings.len(), 1, "same-layer edges are also forbidden");
+}
+
+#[test]
+fn vendor_crate_must_stay_leaf() {
+    let crates = vec![crate_info("serde", &["cmpleak-mem"])];
+    let findings = check_layering(&crates);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("leaf"), "{}", findings[0].message);
+}
+
+#[test]
+fn audit_crate_must_stay_outside_the_stack() {
+    let crates = vec![crate_info("cmpleak-audit", &["cmpleak-core"])];
+    let findings = check_layering(&crates);
+    assert_eq!(findings.len(), 1);
+    assert!(
+        findings[0].message.contains("outside the simulation stack"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn unknown_crate_is_flagged_not_ignored() {
+    let crates = vec![crate_info("cmpleak-mystery", &[])];
+    let findings = check_layering(&crates);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("layering policy"));
+}
+
+#[test]
+fn dev_dependencies_may_point_upward() {
+    let mut cpu = crate_info("cmpleak-cpu", &[]);
+    cpu.dev_deps = vec![("cmpleak-workloads".to_string(), 10), ("cmpleak-trace".to_string(), 11)];
+    assert!(
+        check_layering(&[cpu]).is_empty(),
+        "dev-dep cycles are Cargo-legal and used by the differential suites"
+    );
+}
+
+#[test]
+fn manifest_parser_reads_names_and_dep_tables() {
+    let toml = "[package]\n\
+                name = \"cmpleak-demo\"\n\
+                version = \"0.1.0\"\n\
+                \n\
+                [dependencies]\n\
+                cmpleak-mem.workspace = true\n\
+                serde = { path = \"../vendor/serde\", features = [\"derive\"] }\n\
+                \n\
+                [dev-dependencies]\n\
+                proptest.workspace = true\n";
+    let info = parse_manifest("demo/Cargo.toml", toml);
+    assert_eq!(info.name, "cmpleak-demo");
+    assert_eq!(
+        info.deps.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(),
+        vec!["cmpleak-mem", "serde"]
+    );
+    assert_eq!(info.dev_deps.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(), vec!["proptest"]);
+    assert_eq!(info.deps[0].1, 6, "dep findings must carry the manifest line");
+}

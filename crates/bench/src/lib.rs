@@ -1,6 +1,8 @@
 //! Shared helpers for the benchmark harness (`repro` binary + criterion
 //! benches).
 
+#![forbid(unsafe_code)]
+
 use cmpleak_core::sweep::{run_sweep, SweepConfig, SweepResults};
 
 /// The paper's full evaluation grid (6 benchmarks × 4 sizes × 7

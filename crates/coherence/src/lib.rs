@@ -22,6 +22,8 @@
 //! * [`bus`] — the snoopy-bus transaction vocabulary shared with
 //!   `cmpleak-system`.
 
+#![forbid(unsafe_code)]
+
 pub mod bus;
 pub mod legality;
 pub mod mesi;

@@ -107,6 +107,7 @@ impl<'a> FigureSet<'a> {
                 let m = self
                     .results
                     .mean_over_benchmarks(t, s)
+                    // audit:allow(unwrap-in-lib, FigureSet is built from a grid sweep whose planner emits every (technique,size) cell)
                     .expect("sweep covers every (technique,size)");
                 row.push(get(&m));
             }
@@ -138,6 +139,7 @@ impl<'a> FigureSet<'a> {
                 let cell = self
                     .results
                     .cell(b, t, size_mb)
+                    // audit:allow(unwrap-in-lib, FigureSet is built from a grid sweep whose planner emits every (benchmark,technique) cell)
                     .expect("sweep covers every (benchmark,technique) at this size");
                 row.push(get(&cell.metrics));
             }

@@ -27,6 +27,8 @@
 //! [`Technique::paper_set`]; the six benchmarks are
 //! [`WorkloadSpec::paper_suite`].
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod experiment;
 pub mod figures;

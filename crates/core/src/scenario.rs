@@ -162,6 +162,7 @@ impl Scenario {
                 (0..n_cores)
                     .map(|c| {
                         Box::new(tf.core_workload(c).unwrap_or_else(|e| {
+                            // audit:allow(unwrap-in-lib, config-load failure at scenario build time, before any simulation state exists; the trace path was validated by the header read above)
                             panic!("cannot read core {c} of {}: {e}", path.display())
                         })) as Box<dyn Workload>
                     })

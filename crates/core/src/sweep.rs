@@ -334,12 +334,14 @@ fn run_sweep_inner(
     if let Some(offset) = donor_offset {
         let group = 1 + cfg.techniques.len();
         for base_idx in (0..jobs.len()).step_by(group) {
+            // audit:allow(unwrap-in-lib, the worker pool joined above; every job slot was filled before the barrier released)
             let donor = results[base_idx + offset].as_ref().expect("donor simulated");
             results[base_idx] = Some(derive_baseline_cell(&jobs[base_idx].0, donor));
             derived += 1;
         }
     }
     let results: Vec<ExperimentResult> =
+        // audit:allow(unwrap-in-lib, the worker pool joined above and baseline derivation filled the remaining slots)
         results.into_iter().map(|r| r.expect("all jobs completed")).collect();
 
     // Retire the shared recordings: with the jobs (and their cursor

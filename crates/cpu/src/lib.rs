@@ -19,6 +19,8 @@
 //! generators satisfy automatically and finite trace backends implement
 //! directly.
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod source;
 pub mod trace;

@@ -26,6 +26,8 @@
 //! structures are sized once at construction (see the workspace DESIGN.md
 //! and the hpc-parallel guide notes on avoiding allocation in hot loops).
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod array;
 pub mod bank;

@@ -22,6 +22,8 @@
 //!   leakage→temperature→leakage loop each interval, and produces the
 //!   [`EnergyBreakdown`] the figures are computed from.
 
+#![forbid(unsafe_code)]
+
 pub mod energy;
 pub mod integrator;
 pub mod leakage;

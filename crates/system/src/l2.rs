@@ -529,6 +529,7 @@ impl L2Cache {
                             L2WriteOutcome::Retry
                         }
                     },
+                    // audit:allow(unwrap-in-lib, the Invalid arm is excluded by the stationary-state check directly above)
                     _ => unreachable!("stationary check above"),
                 }
             }
@@ -585,6 +586,7 @@ impl L2Cache {
                     MesiState::Modified | MesiState::Exclusive => false,
                     // S hit needs an MSHR entry for the upgrade.
                     MesiState::Shared => !self.mshr.would_accept(line),
+                    // audit:allow(unwrap-in-lib, the Invalid arm is excluded by the stationary-state check directly above)
                     _ => unreachable!("stationary check above"),
                 }
             }
@@ -824,12 +826,14 @@ impl L2Cache {
     // ---- miss-flag bookkeeping -------------------------------------------
 
     fn flag_mut(&mut self, line: LineAddr) -> &mut MissFlags {
-        if let Some(pos) = self.flags.iter().position(|(l, _)| *l == line) {
-            &mut self.flags[pos].1
-        } else {
-            self.flags.push((line, MissFlags::default()));
-            &mut self.flags.last_mut().unwrap().1
-        }
+        let pos = match self.flags.iter().position(|(l, _)| *l == line) {
+            Some(pos) => pos,
+            None => {
+                self.flags.push((line, MissFlags::default()));
+                self.flags.len() - 1
+            }
+        };
+        &mut self.flags[pos].1
     }
 
     fn take_flags(&mut self, line: LineAddr) -> MissFlags {

@@ -20,6 +20,8 @@
 //! convenience), producing [`SimStats`] plus a 10K-cycle activity trace
 //! for the power/thermal models.
 
+#![forbid(unsafe_code)]
+
 pub mod bus;
 pub mod config;
 pub mod l1;

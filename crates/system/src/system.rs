@@ -53,7 +53,7 @@ use cmpleak_coherence::bus::SnoopKind;
 use cmpleak_cpu::{CoreModel, CorePort, LiveGen, OpSource, ProgressState, StallKind, Workload};
 use cmpleak_mem::{ArenaStats, BankArena, Geometry, LineAddr, WriteBuffer};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EvKind {
@@ -217,6 +217,7 @@ impl EventQueue {
             if at >= self.cursor + self.window() {
                 break;
             }
+            // audit:allow(unwrap-in-lib, pop follows a successful peek on the same heap in the same loop iteration)
             let Reverse((at, _, kind)) = self.overflow.pop().expect("peeked");
             let idx = self.bucket_index(at);
             self.buckets[idx].push_back((at, kind));
@@ -246,9 +247,11 @@ impl EventQueue {
             }
             if bits != 0 {
                 let idx = w * 64 + bits.trailing_zeros() as usize;
+                // audit:allow(unwrap-in-lib, the occupancy bitmap bit was set, so the bucket is non-empty)
                 return Some(self.buckets[idx].front().expect("occupied bucket").0);
             }
         }
+        // audit:allow(unwrap-in-lib, in_buckets and the occupancy bitmap are updated together on every push and pop)
         unreachable!("in_buckets > 0 but no occupied bucket")
     }
 
@@ -277,6 +280,7 @@ impl EventQueue {
         if let Some(t) = self.next_bucket_at() {
             if t <= now {
                 let idx = self.bucket_index(t);
+                // audit:allow(unwrap-in-lib, next_bucket_at returned this bucket, so its FIFO is non-empty)
                 let (at, kind) = self.buckets[idx].pop_front().expect("occupied bucket");
                 debug_assert_eq!(at, t);
                 if self.buckets[idx].is_empty() {
@@ -301,12 +305,15 @@ impl EventQueue {
 
 /// The write-retry queue of one core: FIFO order plus an exact multiset
 /// index so the decay machinery's membership test
-/// ([`CmpSystem::try_turn_off`]'s pending-write check) is O(1) instead
-/// of a linear scan that degrades on deep retry queues.
+/// ([`CmpSystem::try_turn_off`]'s pending-write check) is O(log n)
+/// instead of a linear scan that degrades on deep retry queues. The
+/// index is a `BTreeMap`, not a `HashMap`: nothing iterates it today,
+/// but simulation state must never hold a structure whose iteration
+/// order could silently leak into results (determinism audit policy).
 #[derive(Debug, Default)]
 struct RetryQueue {
     queue: VecDeque<LineAddr>,
-    members: HashMap<LineAddr, u32>,
+    members: BTreeMap<LineAddr, u32>,
 }
 
 impl RetryQueue {
@@ -326,6 +333,7 @@ impl RetryQueue {
                 self.members.remove(&line);
             }
             Some(n) => *n -= 1,
+            // audit:allow(unwrap-in-lib, push_back increments the index entry for every queued line, so pop_front always finds one)
             None => unreachable!("membership index tracks the queue exactly"),
         }
         Some(line)
@@ -788,6 +796,7 @@ impl CmpSystem {
                     self.cores[core].charge_stall_cycles(StallKind::Reject, span);
                     self.wbs[core].charge_full_stalls(span);
                 }
+                // audit:allow(unwrap-in-lib, advance_quiet only runs after every core reported a non-Ready progress state)
                 ProgressState::Ready => unreachable!("quiescence check vetted all cores"),
             }
             // The port loop re-probes each blocked queue head once per

@@ -269,6 +269,7 @@ fn bad(msg: impl Into<String>) -> io::Error {
 }
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
+    // audit:allow(unwrap-in-lib, header labels are scenario/spec names, validated far below the u16 ceiling at construction)
     let len = u16::try_from(s.len()).expect("trace labels are short");
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(s.as_bytes());
@@ -315,6 +316,7 @@ impl TraceHeader {
         out.extend_from_slice(&self.version.to_le_bytes());
         write_str(&mut out, &self.label);
         out.extend_from_slice(&self.seed.to_le_bytes());
+        // audit:allow(unwrap-in-lib, core counts are small powers of two; u32 overflow is structurally impossible)
         out.extend_from_slice(&u32::try_from(self.cores.len()).unwrap().to_le_bytes());
         for c in &self.cores {
             write_str(&mut out, &c.name);

@@ -22,6 +22,8 @@
 //! [`MemTraceCursor`]s replay it concurrently — the substrate of the
 //! sweep planner's shared op streams.
 
+#![forbid(unsafe_code)]
+
 pub mod format;
 pub mod mem;
 pub mod reader;

@@ -98,6 +98,7 @@ impl MemTrace {
             len: bytes.len() as u64,
         });
         self.streams.push(bytes);
+        // audit:allow(unwrap-in-lib, a CoreStreamInfo was pushed two statements above)
         self.cores.last().expect("just pushed")
     }
 
@@ -284,6 +285,7 @@ impl Workload for MemTraceCursor {
     fn next_op(&mut self) -> TraceOp {
         self.try_next_op().unwrap_or_else(|| {
             let info = &self.trace.cores[self.core];
+            // audit:allow(unwrap-in-lib, contract violation: the recording covered the requested budget by construction, so exhaustion is a caller bug worth aborting on)
             panic!(
                 "shared stream '{}' (core {}) exhausted after {} ops / {} instructions — it was \
                  recorded for a smaller instruction budget than this simulation requests",

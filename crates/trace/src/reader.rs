@@ -194,6 +194,7 @@ impl TraceWorkload {
 impl Workload for TraceWorkload {
     fn next_op(&mut self) -> TraceOp {
         self.try_next_op().unwrap_or_else(|| {
+            // audit:allow(unwrap-in-lib, contract violation: the recording covered the requested budget by construction, so exhaustion is a caller bug worth aborting on)
             panic!(
                 "trace stream '{}' exhausted after {} ops / {} instructions — it was recorded \
                  for a smaller instruction budget than this simulation requests",

@@ -287,8 +287,8 @@ mod tests {
         let mut w = GenerationalWorkload::new(spec, 0, 4, 5);
         let ops = take_ops(&mut w, 400_000);
         let (mut loads, mut stores) = (0u64, 0u64);
-        let mut store_lines = std::collections::HashSet::new();
-        let mut load_lines = std::collections::HashSet::new();
+        let mut store_lines = std::collections::BTreeSet::new();
+        let mut load_lines = std::collections::BTreeSet::new();
         for op in &ops {
             match op {
                 TraceOp::Load(a) if *a < SHARED_BASE => {
@@ -334,7 +334,7 @@ mod tests {
         let mut w = GenerationalWorkload::new(spec, 0, 4, 11);
         // Consume enough ops to retire many generations.
         let addrs = mem_addrs(&take_ops(&mut w, 2_000_000));
-        let distinct_regions: std::collections::HashSet<u64> = addrs
+        let distinct_regions: std::collections::BTreeSet<u64> = addrs
             .iter()
             .filter(|&&a| a < SHARED_BASE)
             .map(|&a| (a - (1u64 << 36)) / spec.region_bytes as u64)
@@ -350,7 +350,7 @@ mod tests {
     fn producers_rotate_across_epochs() {
         let spec = WorkloadSpec::mpeg2dec();
         let w = GenerationalWorkload::new(spec, 0, 4, 42);
-        let producers: std::collections::HashSet<usize> =
+        let producers: std::collections::BTreeSet<usize> =
             (0..50).map(|e| w.producer(3, e)).collect();
         assert!(producers.len() > 1, "ownership must migrate across epochs");
     }

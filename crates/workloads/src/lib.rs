@@ -23,6 +23,8 @@
 //! Streams are deterministic functions of `(benchmark, core, seed)` —
 //! the whole simulator is bit-reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod rng;
 pub mod scenario;

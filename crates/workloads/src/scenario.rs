@@ -130,7 +130,7 @@ mod tests {
         assert_eq!(mixes.len(), 3);
         for m in &mixes {
             assert!(m.name.starts_with("mix_"));
-            let names: std::collections::HashSet<&str> =
+            let names: std::collections::BTreeSet<&str> =
                 m.assignments.iter().map(|s| s.name).collect();
             assert!(names.len() >= 2, "{} must mix at least two specs", m.name);
         }

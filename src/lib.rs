@@ -61,6 +61,8 @@
 //! println!("{}", figs.fig5a()); // energy reduction table
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cmpleak_coherence as coherence;
 pub use cmpleak_core as core;
 pub use cmpleak_cpu as cpu;
