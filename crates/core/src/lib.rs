@@ -39,13 +39,13 @@ pub mod sweep;
 pub use cmpleak_coherence::Technique;
 pub use cmpleak_workloads::{BenchClass, ScenarioSpec, WorkloadSpec};
 pub use experiment::{
-    run_experiment, run_experiment_with_scratch, ExperimentConfig, ExperimentResult,
-    ExperimentScratch,
+    run_experiment, run_experiment_lanes, run_experiment_with_scratch, ExperimentConfig,
+    ExperimentResult, ExperimentScratch,
 };
 pub use figures::{Figure, FigureSet};
 pub use metrics::TechniqueMetrics;
 pub use scenario::Scenario;
 pub use sweep::{
-    run_sweep, run_sweep_reference, run_sweep_unshared, run_sweep_with_scratch, SweepCell,
-    SweepConfig, SweepResults,
+    run_sweep, run_sweep_reference, run_sweep_sequential, run_sweep_unshared,
+    run_sweep_with_scratch, SweepCell, SweepConfig, SweepResults,
 };

@@ -8,19 +8,23 @@
 //! results by index, so the output is identical for any thread count
 //! (pinned by the golden regression test in `tests/golden_sweep.rs`).
 //!
-//! Two sweep-level optimizations are on by default in [`run_sweep`],
-//! both bit-identity-preserving: the baseline of each (scenario, size)
+//! Three sweep-level optimizations are on by default in [`run_sweep`],
+//! all bit-identity-preserving: the baseline of each (scenario, size)
 //! group is *derived* from its timing-identical Protocol twin instead of
-//! simulated, and each (scenario, seed, budget) group's op stream is
+//! simulated; each (scenario, seed, budget) group's op stream is
 //! *recorded once* into a shared in-memory trace that every cell of the
-//! group replays through a cursor instead of regenerating live (the
-//! grid runs 1 + sizes × techniques cells per scenario off one
-//! recording). See `tests/sweep_memoization.rs` and
-//! `tests/stream_sharing.rs` for the differentials that pin both.
+//! group replays instead of regenerating live (the grid runs 1 + sizes
+//! × techniques cells per scenario off one recording); and within each
+//! (scenario, size) group the technique cells run as **lockstep lanes**
+//! ([`run_experiment_lanes`]) — the stream is decoded once into a
+//! shared op window and every technique steps through it with plain
+//! slice reads. See `tests/sweep_memoization.rs`,
+//! `tests/stream_sharing.rs` and `tests/lane_differential.rs` for the
+//! differentials that pin all three.
 
 use crate::experiment::{
-    derive_baseline_cell, run_experiment_with_scratch, ExperimentConfig, ExperimentResult,
-    ExperimentScratch,
+    derive_baseline_cell, run_experiment_lanes, run_experiment_with_scratch, ExperimentConfig,
+    ExperimentResult, ExperimentScratch,
 };
 use crate::metrics::TechniqueMetrics;
 use crate::scenario::Scenario;
@@ -181,10 +185,17 @@ fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell 
 /// cheap replay cursor over the shared buffer, amortizing the generator
 /// work to one recording per group.
 ///
+/// **Lanes** — within each (scenario, size) group, the simulated cells
+/// all consume the same op sequence; the lane engine
+/// ([`run_experiment_lanes`]) decodes it once into a shared op window
+/// and steps every technique through it side by side, so per-cell op
+/// delivery collapses to bounds-checked slice reads.
+///
 /// The output is byte-identical to [`run_sweep_reference`] (pinned
-/// cell-for-cell by `tests/sweep_memoization.rs` and
-/// `tests/stream_sharing.rs`, and by the golden snapshot, which passes
-/// unchanged with both optimizations on).
+/// cell-for-cell by `tests/sweep_memoization.rs`,
+/// `tests/stream_sharing.rs` and `tests/lane_differential.rs`, and by
+/// the golden snapshot, which passes unchanged with all three
+/// optimizations on).
 pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
     run_sweep_with_scratch(cfg, &mut ExperimentScratch::default())
 }
@@ -194,21 +205,31 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
 /// parameter studies) re-record their streams into the same
 /// allocations. The result is identical.
 pub fn run_sweep_with_scratch(cfg: &SweepConfig, scratch: &mut ExperimentScratch) -> SweepResults {
-    run_sweep_inner(cfg, true, true, scratch).0
+    run_sweep_inner(cfg, true, true, true, scratch).0
 }
 
-/// [`run_sweep`] with both optimizations disabled: every cell, baseline
-/// included, is fully simulated from live generators. The differential
-/// reference for the optimized paths.
+/// [`run_sweep`] with every optimization disabled: every cell, baseline
+/// included, is fully simulated from live generators, one at a time.
+/// The differential reference for the optimized paths.
 pub fn run_sweep_reference(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, false, false, &mut ExperimentScratch::default()).0
+    run_sweep_inner(cfg, false, false, false, &mut ExperimentScratch::default()).0
 }
 
-/// [`run_sweep`] with stream sharing disabled (baseline memoization
-/// stays on): every simulated cell regenerates its streams live. The
-/// comparison arm the `sweep` bench uses to isolate what sharing buys.
+/// [`run_sweep`] with stream sharing and lanes disabled (baseline
+/// memoization stays on): every simulated cell regenerates its streams
+/// live. The comparison arm the `sweep` bench uses to isolate what
+/// sharing buys.
 pub fn run_sweep_unshared(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, true, false, &mut ExperimentScratch::default()).0
+    run_sweep_inner(cfg, true, false, false, &mut ExperimentScratch::default()).0
+}
+
+/// [`run_sweep`] with the lane engine disabled (memoization and stream
+/// sharing stay on): cells run one at a time off the shared recordings
+/// — the planner exactly as it stood before lanes. The escape hatch if
+/// a lane-engine defect is suspected, and the comparison arm of the
+/// `lanes` bench and `tests/lane_differential.rs`.
+pub fn run_sweep_sequential(cfg: &SweepConfig) -> SweepResults {
+    run_sweep_inner(cfg, true, true, false, &mut ExperimentScratch::default()).0
 }
 
 /// Returns the results plus the number of derived (unsimulated) cells
@@ -217,6 +238,7 @@ fn run_sweep_inner(
     cfg: &SweepConfig,
     memoize: bool,
     share_streams: bool,
+    lanes: bool,
     scratch: &mut ExperimentScratch,
 ) -> (SweepResults, usize, usize) {
     // The technique whose run can stand in for the baseline simulation,
@@ -284,24 +306,31 @@ fn run_sweep_inner(
         }
     }
 
+    // The pool's work unit: one cell when running sequentially, one
+    // whole (scenario, size) group when the lane engine is on — a
+    // group's lanes share a decoded op window and must live on one
+    // worker.
+    let group_len = 1 + cfg.techniques.len();
+    let work_units = if lanes { jobs.len() / group_len } else { jobs.len() };
+
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         cfg.threads
     }
-    .min(jobs.len().max(1));
+    .min(work_units.max(1));
 
     let mut results: Vec<Option<ExperimentResult>> = (0..jobs.len()).map(|_| None).collect();
     {
         // Share-nothing worker pool on std primitives: an atomic cursor
-        // hands out job indices, an mpsc channel collects results, and
-        // reassembly by index keeps the output identical for any thread
-        // count.
-        let next_job = std::sync::atomic::AtomicUsize::new(0);
+        // hands out work-unit indices, an mpsc channel collects results,
+        // and reassembly by index keeps the output identical for any
+        // thread count.
+        let next_unit = std::sync::atomic::AtomicUsize::new(0);
         let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, ExperimentResult)>();
         std::thread::scope(|s| {
             for _ in 0..threads {
-                let next_job = &next_job;
+                let next_unit = &next_unit;
                 let jobs = &jobs;
                 let res_tx = res_tx.clone();
                 s.spawn(move || {
@@ -309,14 +338,35 @@ fn run_sweep_inner(
                     // allocations are recycled across this worker's jobs.
                     let mut scratch = ExperimentScratch::default();
                     loop {
-                        let i = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some((job, simulate)) = jobs.get(i) else { return };
-                        if !simulate {
-                            continue; // derived after the pool finishes
-                        }
-                        let r = run_experiment_with_scratch(job, &mut scratch);
-                        if res_tx.send((i, r)).is_err() {
+                        let u = next_unit.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if u >= work_units {
                             return;
+                        }
+                        if lanes {
+                            // One lane group: the group's simulated
+                            // cells (the baseline slot is absent when it
+                            // will be derived) stepped through one
+                            // shared op window.
+                            let base = u * group_len;
+                            let idx: Vec<usize> =
+                                (base..base + group_len).filter(|&i| jobs[i].1).collect();
+                            let cfgs: Vec<ExperimentConfig> =
+                                idx.iter().map(|&i| jobs[i].0.clone()).collect();
+                            let rs = run_experiment_lanes(&cfgs, &mut scratch);
+                            for (i, r) in idx.into_iter().zip(rs) {
+                                if res_tx.send((i, r)).is_err() {
+                                    return;
+                                }
+                            }
+                        } else {
+                            let (job, simulate) = &jobs[u];
+                            if !simulate {
+                                continue; // derived after the pool finishes
+                            }
+                            let r = run_experiment_with_scratch(job, &mut scratch);
+                            if res_tx.send((u, r)).is_err() {
+                                return;
+                            }
                         }
                     }
                 });
@@ -332,8 +382,7 @@ fn run_sweep_inner(
     // bookkeeping pass, deterministic for any thread count).
     let mut derived = 0usize;
     if let Some(offset) = donor_offset {
-        let group = 1 + cfg.techniques.len();
-        for base_idx in (0..jobs.len()).step_by(group) {
+        for base_idx in (0..jobs.len()).step_by(group_len) {
             // audit:allow(unwrap-in-lib, the worker pool joined above; every job slot was filled before the barrier released)
             let donor = results[base_idx + offset].as_ref().expect("donor simulated");
             results[base_idx] = Some(derive_baseline_cell(&jobs[base_idx].0, donor));
@@ -357,9 +406,8 @@ fn run_sweep_inner(
     }
 
     // Group per (scenario, size): first entry is the baseline.
-    let group = 1 + cfg.techniques.len();
     let mut cells = Vec::with_capacity(results.len());
-    for chunk in results.chunks(group) {
+    for chunk in results.chunks(group_len) {
         let base = &chunk[0];
         cells.push(summarize(base, TechniqueMetrics::baseline_identity(base)));
         for tech in &chunk[1..] {
@@ -403,9 +451,9 @@ mod tests {
     fn memoized_sweep_equals_reference_and_actually_derives() {
         let cfg = tiny(); // includes Protocol: one derived baseline per group
         let mut scratch = ExperimentScratch::default();
-        let (memo, derived, recorded) = run_sweep_inner(&cfg, true, true, &mut scratch);
+        let (memo, derived, recorded) = run_sweep_inner(&cfg, true, true, true, &mut scratch);
         let (full, none, unrecorded) =
-            run_sweep_inner(&cfg, false, false, &mut ExperimentScratch::default());
+            run_sweep_inner(&cfg, false, false, false, &mut ExperimentScratch::default());
         assert_eq!(derived, 2, "one baseline derived per (scenario, size) group");
         assert_eq!(recorded, 2, "one shared stream recorded per scenario");
         assert_eq!((none, unrecorded), (0, 0));
@@ -423,7 +471,7 @@ mod tests {
         let mut cfg = tiny();
         cfg.techniques = vec![Technique::Decay { decay_cycles: 16 * 1024 }];
         let (res, derived, _) =
-            run_sweep_inner(&cfg, true, true, &mut ExperimentScratch::default());
+            run_sweep_inner(&cfg, true, true, true, &mut ExperimentScratch::default());
         assert_eq!(derived, 0, "no timing-identical technique, nothing to derive");
         assert_eq!(res.cells.len(), 4);
     }

@@ -1,0 +1,328 @@
+//! The lane engine's op feed: one decoded window, many consumers.
+//!
+//! A sweep group's cells all consume the *same* per-core op sequence
+//! (the budget-cursor contract of [`OpSource`]); only the technique
+//! differs. The sequential planner pays the op-delivery cost — decode
+//! for replay backends, generation for live ones — once **per cell**.
+//! The lane engine pays it once **per group**: an [`OpWindow`] pulls
+//! each core's ops from the group's sources exactly once into a shared
+//! decoded buffer, and every lane walks the buffer through a
+//! [`WindowCursor`] — a bounds-checked slice read, no decode, no
+//! generator arithmetic, no per-lane stream state.
+//!
+//! # The window contract
+//!
+//! Positions are absolute op indices into the (conceptually infinite)
+//! per-core stream. The window holds ops `[base, end)` per core and
+//! guarantees, after [`OpWindow::advance`]`(min, max, target)`:
+//!
+//! * no op below `min[c]` is retained (lanes at `min` anchor the
+//!   window; memory stays O(window), not O(stream));
+//! * `end(c) ≥ max[c] + target` for every core whose source still has
+//!   ops — so the furthest-ahead lane can run at least `target` ops on
+//!   every core before starving, and trailing lanes strictly more;
+//! * a core whose finite source ran dry is marked
+//!   [`finished`](OpWindow::finished); its lanes consume the remaining
+//!   buffered ops and must reach their budget within them (a recorded
+//!   stream covers the budget by construction).
+//!
+//! `Exec(0)` ops are filtered out at fill time: [`CoreModel`] consumes
+//! them with no statistic or timing effect (an empty exec burst neither
+//! dispatches nor costs a fetch slot), so removing them is
+//! result-neutral — and it makes the per-tick fetch count provably
+//! bounded ([`fetch_margin`]), which is what lets a lane pause *before*
+//! a tick that could overrun the window instead of discovering the
+//! overrun mid-tick.
+//!
+//! [`CoreModel`]: crate::CoreModel
+
+use crate::source::OpSource;
+use crate::trace::TraceOp;
+
+/// Worst-case ops one [`CoreModel::tick`](crate::CoreModel::tick) can
+/// fetch from a source that never yields `Exec(0)` (the window filters
+/// those): each of the ≤ `width` dispatch-loop iterations fetches at
+/// most one op, and one trailing fetch may end in a refusal that breaks
+/// the loop — `width + 1` in all. A lane whose every fetching core has
+/// at least this many buffered ops can always run one more tick without
+/// overrunning the window.
+pub const fn fetch_margin(width: u32) -> u64 {
+    width as u64 + 1
+}
+
+#[derive(Debug)]
+struct CoreWindow {
+    name: String,
+    /// Buffered ops; `ops[0]` is absolute op index `base`.
+    ops: Vec<TraceOp>,
+    base: u64,
+    /// The source ran dry (finite stream fully decoded). Never set for
+    /// live generators.
+    finished: bool,
+}
+
+/// The shared decoded op window of one lane group. Owns the group's
+/// per-core sources and pulls each op from them exactly once.
+pub struct OpWindow {
+    sources: Vec<Box<dyn OpSource>>,
+    cores: Vec<CoreWindow>,
+}
+
+impl std::fmt::Debug for OpWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpWindow").field("cores", &self.cores).finish_non_exhaustive()
+    }
+}
+
+impl OpWindow {
+    /// Wrap the group's per-core sources. Nothing is fetched until the
+    /// first [`OpWindow::advance`].
+    pub fn new(sources: Vec<Box<dyn OpSource>>) -> Self {
+        let cores = sources
+            .iter()
+            .map(|s| CoreWindow {
+                name: s.name().to_string(),
+                ops: Vec::new(),
+                base: 0,
+                finished: false,
+            })
+            .collect();
+        Self { sources, cores }
+    }
+
+    /// Number of per-core streams.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The source name of `core` (for per-core statistics, identical to
+    /// what the sequential path reports).
+    pub fn name(&self, core: usize) -> &str {
+        &self.cores[core].name
+    }
+
+    /// Ops buffered at or past absolute position `pos` on `core`.
+    #[inline]
+    pub fn available(&self, core: usize, pos: u64) -> u64 {
+        let w = &self.cores[core];
+        (w.base + w.ops.len() as u64).saturating_sub(pos)
+    }
+
+    /// Absolute index one past the last buffered op of `core`.
+    pub fn end(&self, core: usize) -> u64 {
+        let w = &self.cores[core];
+        w.base + w.ops.len() as u64
+    }
+
+    /// Whether `core`'s source ran dry: every op of its finite stream is
+    /// at or below [`end`](Self::end), and lanes must complete their
+    /// budget within the buffered suffix.
+    #[inline]
+    pub fn finished(&self, core: usize) -> bool {
+        self.cores[core].finished
+    }
+
+    /// Slide and refill: drop ops below `min_pos[c]`, then fetch until
+    /// every unfinished core buffers at least `target` ops past
+    /// `max_pos[c]`. `min_pos`/`max_pos` are the per-core minimum and
+    /// maximum positions over the group's live lanes (`min ≤ max`).
+    pub fn advance(&mut self, min_pos: &[u64], max_pos: &[u64], target: u64) {
+        assert_eq!(min_pos.len(), self.cores.len());
+        assert_eq!(max_pos.len(), self.cores.len());
+        for (c, win) in self.cores.iter_mut().enumerate() {
+            debug_assert!(min_pos[c] >= win.base, "a lane fell below the window base");
+            let drop = (min_pos[c] - win.base).min(win.ops.len() as u64) as usize;
+            if drop > 0 {
+                win.ops.copy_within(drop.., 0);
+                win.ops.truncate(win.ops.len() - drop);
+                win.base += drop as u64;
+            }
+            let want_end = max_pos[c] + target;
+            while !win.finished && win.base + (win.ops.len() as u64) < want_end {
+                let need = (want_end - win.base - win.ops.len() as u64) as usize;
+                let before = win.ops.len();
+                let got = self.sources[c].fill_ops(&mut win.ops, need);
+                // Filter Exec(0) out of the appended region (see the
+                // module docs: result-neutral, and required for the
+                // fetch-margin bound). A pathological source emitting
+                // *only* Exec(0) forever would spin here — but it could
+                // never cover an instruction budget either, so the
+                // sequential path would spin on it too.
+                let mut w = before;
+                for r in before..win.ops.len() {
+                    if win.ops[r] != TraceOp::Exec(0) {
+                        win.ops[w] = win.ops[r];
+                        w += 1;
+                    }
+                }
+                win.ops.truncate(w);
+                if got < need {
+                    win.finished = true;
+                }
+            }
+        }
+    }
+
+    /// A lane's view of `core`'s buffered ops, reading from `*pos` and
+    /// advancing it. Borrows the window immutably, so every lane of a
+    /// group can hold cursors over the same buffers.
+    pub fn cursor<'a>(&'a self, core: usize, pos: &'a mut u64) -> WindowCursor<'a> {
+        let w = &self.cores[core];
+        WindowCursor { ops: &w.ops, base: w.base, pos, name: &w.name }
+    }
+}
+
+/// A lane's per-core read head over an [`OpWindow`]: the op source the
+/// lane's core model fetches from. `next_op` is one bounds-checked
+/// slice read.
+#[derive(Debug)]
+pub struct WindowCursor<'a> {
+    ops: &'a [TraceOp],
+    base: u64,
+    pos: &'a mut u64,
+    name: &'a str,
+}
+
+impl OpSource for WindowCursor<'_> {
+    #[inline]
+    fn next_op(&mut self) -> TraceOp {
+        let op = self
+            .pos
+            .checked_sub(self.base)
+            .and_then(|i| self.ops.get(usize::try_from(i).ok()?))
+            .copied()
+            .unwrap_or_else(|| {
+                // A read outside [base, end) breaks the window contract
+                // (the scheduler paused too late or slid too early);
+                // fabricating an op would silently diverge from the
+                // sequential arm, so abort loudly.
+                // audit:allow(unwrap-in-lib, window-contract violation: fabricating an op would silently diverge from the sequential arm)
+                panic!(
+                    "lane overran its op window on '{}': position {} outside [{}, {})",
+                    self.name,
+                    self.pos,
+                    self.base,
+                    self.base + self.ops.len() as u64
+                )
+            });
+        *self.pos += 1;
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        Some((self.base + self.ops.len() as u64).saturating_sub(*self.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::LiveGen;
+    use crate::trace::ReplayWorkload;
+
+    fn looping_source() -> Box<dyn OpSource> {
+        LiveGen::boxed(Box::new(ReplayWorkload::cycle(vec![
+            TraceOp::Exec(3),
+            TraceOp::Load(0x40),
+            TraceOp::Store(0x80),
+        ])))
+    }
+
+    #[test]
+    fn window_serves_the_source_stream_through_cursors() {
+        let mut win = OpWindow::new(vec![looping_source()]);
+        win.advance(&[0], &[0], 8);
+        assert!(win.available(0, 0) >= 8);
+        let mut pos = 0u64;
+        let mut cur = win.cursor(0, &mut pos);
+        assert_eq!(cur.next_op(), TraceOp::Exec(3));
+        assert_eq!(cur.next_op(), TraceOp::Load(0x40));
+        assert_eq!(cur.next_op(), TraceOp::Store(0x80));
+        assert_eq!(cur.next_op(), TraceOp::Exec(3));
+        assert_eq!(pos, 4);
+        assert_eq!(win.name(0), "replay");
+    }
+
+    #[test]
+    fn two_cursors_replay_the_same_ops() {
+        let mut win = OpWindow::new(vec![looping_source()]);
+        win.advance(&[0], &[0], 12);
+        let (mut a, mut b) = (0u64, 0u64);
+        let first: Vec<TraceOp> = {
+            let mut cur = win.cursor(0, &mut a);
+            (0..12).map(|_| cur.next_op()).collect()
+        };
+        let second: Vec<TraceOp> = {
+            let mut cur = win.cursor(0, &mut b);
+            (0..12).map(|_| cur.next_op()).collect()
+        };
+        assert_eq!(first, second, "lanes see the identical stream");
+    }
+
+    #[test]
+    fn advance_slides_the_base_and_keeps_the_lead_lane_fed() {
+        let mut win = OpWindow::new(vec![looping_source()]);
+        win.advance(&[0], &[0], 4);
+        // A lead lane at 100, a trailing lane at 40.
+        win.advance(&[40], &[100], 16);
+        assert!(win.available(0, 100) >= 16, "lead lane has the full target ahead");
+        assert!(win.available(0, 40) >= 76, "trailing lane sees everything up to the lead");
+        assert_eq!(win.end(0) - win.available(0, 40), 40, "ops below the trailing lane dropped");
+    }
+
+    #[test]
+    fn exec_zero_is_filtered_out_of_the_window() {
+        let src = LiveGen::boxed(Box::new(ReplayWorkload::cycle(vec![
+            TraceOp::Exec(0),
+            TraceOp::Exec(5),
+            TraceOp::Exec(0),
+            TraceOp::Load(0x100),
+        ])));
+        let mut win = OpWindow::new(vec![src]);
+        win.advance(&[0], &[0], 6);
+        let mut pos = 0u64;
+        let mut cur = win.cursor(0, &mut pos);
+        for _ in 0..6 {
+            assert_ne!(cur.next_op(), TraceOp::Exec(0));
+        }
+    }
+
+    #[test]
+    fn finite_sources_mark_the_window_finished() {
+        let trace = ReplayWorkload::named("t", vec![TraceOp::Exec(2), TraceOp::Load(0x40)]);
+        // A finite adapter: 5 ops then dry.
+        struct Finite {
+            inner: ReplayWorkload,
+            left: u64,
+        }
+        impl OpSource for Finite {
+            fn next_op(&mut self) -> TraceOp {
+                assert!(self.left > 0, "driven past the end");
+                self.left -= 1;
+                crate::trace::Workload::next_op(&mut self.inner)
+            }
+            fn ops_remaining(&self) -> Option<u64> {
+                Some(self.left)
+            }
+        }
+        let mut win = OpWindow::new(vec![Box::new(Finite { inner: trace, left: 5 })]);
+        win.advance(&[0], &[0], 64);
+        assert!(win.finished(0));
+        assert_eq!(win.available(0, 0), 5, "exactly the recorded ops are buffered");
+        assert_eq!(win.end(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overran its op window")]
+    fn cursor_overrun_panics_with_a_diagnostic() {
+        let mut win = OpWindow::new(vec![looping_source()]);
+        win.advance(&[0], &[0], 2);
+        let end = win.end(0);
+        let mut pos = end; // start at the edge: the first read overruns
+        let _ = win.cursor(0, &mut pos).next_op();
+    }
+}

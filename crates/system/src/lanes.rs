@@ -1,0 +1,288 @@
+//! The lane engine: step many technique configurations through one
+//! decoded op stream.
+//!
+//! A sweep group — one (scenario, seed, budget, size) cell row — runs
+//! the *same* per-core op sequence under N different leakage
+//! techniques. The sequential planner delivers that sequence N times
+//! (decode for replay backends, generator arithmetic for live ones).
+//! [`run_lane_group`] delivers it **once**: the group's sources feed a
+//! shared [`OpWindow`](cmpleak_cpu::OpWindow), and every lane — a full
+//! [`CmpSystem`] with its own cores, caches, bus and event queue —
+//! walks the window through per-lane read cursors.
+//!
+//! # Scheduling
+//!
+//! Lanes run *batch-granular* segments, not cycle-interleaved: each
+//! scheduler round slides the window over the slowest lane's position,
+//! extends it `SEGMENT_TARGET` ops past the fastest, and then runs each
+//! live lane with [`CmpSystem::run_segment`] until it either completes
+//! or drains its buffered ops. One lane's cache/bus state thus stays
+//! hot through thousands of consecutive cycles, while the window stays
+//! O(segment) — not O(stream) — because lanes drain to within a fetch
+//! margin of the window's end before pausing. Each lane's
+//! quiescence-skip kernel operates unchanged within its segments.
+//!
+//! # Bit-identity
+//!
+//! A lane's cycle sequence is exactly the sequential run's: segment
+//! pauses land between cycles and consume nothing, the window filters
+//! only `Exec(0)` ops (timing- and statistics-neutral by construction,
+//! see [`cmpleak_cpu::lane`]), and per-lane state never aliases. The
+//! equivalence is enforced by this module's tests and by
+//! `tests/lane_differential.rs` in `cmpleak-core`.
+
+use crate::config::CmpConfig;
+use crate::stats::SimStats;
+use crate::system::{CmpSystem, SimScratch};
+use cmpleak_cpu::{OpSource, OpWindow};
+
+/// Ops buffered ahead of the fastest lane per scheduler round. Segment
+/// switches are the lane engine's only overhead versus a plain run —
+/// each switch re-warms the next lane's multi-megabyte cache state —
+/// so the target is sized for *rare* switches (a lane runs tens of
+/// thousands of cycles per segment, so a whole paper-scale cell takes
+/// only a handful). The cost is window memory, which is cheap: the
+/// buffer is shared by every lane and read as a stream, ~16 bytes/op.
+const SEGMENT_TARGET: u64 = 32_768;
+
+/// Reusable allocation pools for lane groups: one [`SimScratch`] per
+/// lane slot, so every lane of every group reuses the event ring,
+/// queue and line-column allocations of the lane that ran in its slot
+/// before.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    sims: Vec<SimScratch>,
+}
+
+impl LaneScratch {
+    /// The scratch pool of lane slot `lane` (diagnostics: arena and
+    /// event-queue counters).
+    pub fn sim(&self, lane: usize) -> Option<&SimScratch> {
+        self.sims.get(lane)
+    }
+}
+
+/// Run one op stream through every configuration in `cfgs` at once and
+/// return their statistics in `cfgs` order. Each result is
+/// bit-identical to
+/// [`run_sources_with_scratch`](crate::run_sources_with_scratch) over
+/// the same sources and configuration.
+///
+/// All configurations must agree on everything that shapes the op
+/// stream — core count, instruction budget, core width (the fetch
+/// margin) — they may differ in technique, cache geometry, decay
+/// intervals, kernels.
+///
+/// # Panics
+/// Panics if `cfgs` is empty or disagrees on `n_cores`,
+/// `instructions_per_core` or `core.width`, or if `sources` does not
+/// supply exactly one op stream per core.
+pub fn run_lane_group(
+    cfgs: &[CmpConfig],
+    sources: Vec<Box<dyn OpSource>>,
+    scratch: &mut LaneScratch,
+) -> Vec<SimStats> {
+    // audit:allow(unwrap-in-lib, caller contract: lane groups are built non-empty by the planner)
+    let first = cfgs.first().expect("a lane group needs at least one configuration");
+    for c in cfgs {
+        assert_eq!(c.n_cores, first.n_cores, "lane configs must agree on the core count");
+        assert_eq!(
+            c.instructions_per_core, first.instructions_per_core,
+            "lane configs must agree on the instruction budget"
+        );
+        assert_eq!(c.core.width, first.core.width, "lane configs must agree on the core width");
+    }
+    let n_cores = first.n_cores;
+    assert_eq!(sources.len(), n_cores, "one op source per core");
+
+    let mut window = OpWindow::new(sources);
+    let names: Vec<String> = (0..n_cores).map(|c| window.name(c).to_string()).collect();
+    if scratch.sims.len() < cfgs.len() {
+        scratch.sims.resize_with(cfgs.len(), SimScratch::default);
+    }
+
+    struct Lane {
+        sys: CmpSystem,
+        pos: Vec<u64>,
+    }
+    let mut lanes: Vec<Option<Lane>> = cfgs
+        .iter()
+        .zip(scratch.sims.iter_mut())
+        .map(|(cfg, sim)| {
+            Some(Lane {
+                sys: CmpSystem::for_window(*cfg, names.clone(), sim),
+                pos: vec![0; n_cores],
+            })
+        })
+        .collect();
+    let mut out: Vec<Option<SimStats>> = (0..cfgs.len()).map(|_| None).collect();
+
+    let mut min_pos = vec![0u64; n_cores];
+    let mut max_pos = vec![0u64; n_cores];
+    while lanes.iter().any(Option::is_some) {
+        // Window bounds over the live lanes only: finished lanes no
+        // longer anchor the base, so the window keeps sliding.
+        min_pos.fill(u64::MAX);
+        max_pos.fill(0);
+        for lane in lanes.iter().flatten() {
+            for c in 0..n_cores {
+                min_pos[c] = min_pos[c].min(lane.pos[c]);
+                max_pos[c] = max_pos[c].max(lane.pos[c]);
+            }
+        }
+        window.advance(&min_pos, &max_pos, SEGMENT_TARGET);
+        for i in 0..lanes.len() {
+            let Some(lane) = lanes[i].as_mut() else {
+                continue;
+            };
+            let before = lane.sys.now();
+            let done = lane.sys.run_segment(&window, &mut lane.pos);
+            // After `advance`, every live lane has at least the segment
+            // target buffered on every unfinished core, so a segment
+            // that neither completes nor steps a cycle means the window
+            // contract broke — looping on it would hang the sweep.
+            assert!(
+                done || lane.sys.now() > before,
+                "lane {i} made no progress in a freshly advanced window"
+            );
+            if done {
+                // audit:allow(unwrap-in-lib, guarded by the `as_mut` binding above: the slot is occupied in this branch)
+                let mut lane = lanes[i].take().expect("lane is live");
+                let stats = lane.sys.finalize();
+                lane.sys.reclaim_scratch(&mut scratch.sims[i]);
+                out[i] = Some(stats);
+            }
+        }
+    }
+    // audit:allow(unwrap-in-lib, the scheduler loop only exits once every lane has been finalized into its slot)
+    out.into_iter().map(|s| s.expect("every lane finalized")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimKernel;
+    use crate::system::run_sources_with_scratch;
+    use cmpleak_coherence::Technique;
+    use cmpleak_cpu::{LiveGen, ReplayWorkload, TraceOp};
+
+    fn tiny_cfg(technique: Technique) -> CmpConfig {
+        let mut cfg = CmpConfig { n_cores: 2, ..CmpConfig::default() };
+        cfg.l1.size_bytes = 1024;
+        cfg.l2.size_bytes = 64 * 1024;
+        cfg.technique = technique;
+        cfg.instructions_per_core = 20_000;
+        cfg.max_cycles = 10_000_000;
+        cfg.sample_interval = 1000;
+        cfg
+    }
+
+    fn mixed_streams() -> Vec<Box<dyn OpSource>> {
+        // Core 0 strides privately; core 1 hammers a small shared set —
+        // invalidations, c2c transfers and idle spans in one group.
+        let a: Vec<TraceOp> = (0..256u64)
+            .flat_map(|i| {
+                [
+                    TraceOp::Exec(3),
+                    TraceOp::Load((1 << 20) + i * 64),
+                    TraceOp::Exec(0),
+                    TraceOp::Store((1 << 20) + i * 64 + 8),
+                ]
+            })
+            .collect();
+        let b: Vec<TraceOp> = (0..64u64)
+            .flat_map(|i| [TraceOp::Exec(2), TraceOp::Store(i * 64), TraceOp::Load(i * 64)])
+            .collect();
+        vec![
+            LiveGen::boxed(Box::new(ReplayWorkload::named("alpha", a))),
+            LiveGen::boxed(Box::new(ReplayWorkload::named("beta", b))),
+        ]
+    }
+
+    fn techniques() -> Vec<Technique> {
+        vec![
+            Technique::Baseline,
+            Technique::Protocol,
+            Technique::Decay { decay_cycles: 2048 },
+            Technique::SelectiveDecay { decay_cycles: 4096 },
+        ]
+    }
+
+    #[test]
+    fn lane_group_matches_sequential_runs_bit_for_bit() {
+        for kernel in [SimKernel::QuiescenceSkip, SimKernel::PerCycle] {
+            let cfgs: Vec<CmpConfig> = techniques()
+                .into_iter()
+                .map(|t| {
+                    let mut c = tiny_cfg(t);
+                    c.kernel = kernel;
+                    c
+                })
+                .collect();
+            let mut scratch = LaneScratch::default();
+            let laned = run_lane_group(&cfgs, mixed_streams(), &mut scratch);
+            for (cfg, lane_stats) in cfgs.iter().zip(&laned) {
+                let mut sim = SimScratch::default();
+                let sequential = run_sources_with_scratch(*cfg, mixed_streams(), &mut sim);
+                assert_eq!(lane_stats, &sequential, "lanes diverged under {:?}", cfg.technique);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_group_reports_workload_names() {
+        let cfgs = vec![tiny_cfg(Technique::Baseline)];
+        let stats = run_lane_group(&cfgs, mixed_streams(), &mut LaneScratch::default());
+        assert_eq!(stats[0].core_workloads, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn lane_scratch_reuse_is_invisible() {
+        let cfgs: Vec<CmpConfig> = techniques().into_iter().map(tiny_cfg).collect();
+        let mut scratch = LaneScratch::default();
+        let a = run_lane_group(&cfgs, mixed_streams(), &mut scratch);
+        let b = run_lane_group(&cfgs, mixed_streams(), &mut scratch);
+        assert_eq!(a, b, "warm pools must not change results");
+    }
+
+    #[test]
+    fn single_lane_group_degenerates_to_a_plain_run() {
+        let cfgs = vec![tiny_cfg(Technique::Decay { decay_cycles: 1024 })];
+        let laned = run_lane_group(&cfgs, mixed_streams(), &mut LaneScratch::default());
+        let plain = run_sources_with_scratch(cfgs[0], mixed_streams(), &mut SimScratch::default());
+        assert_eq!(laned[0], plain);
+    }
+
+    #[test]
+    fn lanes_with_different_kernels_stay_bit_identical() {
+        // One group mixing the per-cycle reference with the skipping
+        // kernel: both must agree with each other (kernel bit-identity)
+        // while sharing the window.
+        let mut per_cycle = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        per_cycle.kernel = SimKernel::PerCycle;
+        let mut skipping = per_cycle;
+        skipping.kernel = SimKernel::QuiescenceSkip;
+        let stats =
+            run_lane_group(&[per_cycle, skipping], mixed_streams(), &mut LaneScratch::default());
+        assert_eq!(stats[0], stats[1]);
+    }
+
+    #[test]
+    fn lane_group_caps_at_max_cycles() {
+        let mut cfg = tiny_cfg(Technique::Baseline);
+        cfg.max_cycles = 7_777;
+        let laned = run_lane_group(&[cfg], mixed_streams(), &mut LaneScratch::default());
+        assert_eq!(laned[0].cycles, 7_777);
+        let plain = run_sources_with_scratch(cfg, mixed_streams(), &mut SimScratch::default());
+        assert_eq!(laned[0], plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on the instruction budget")]
+    fn mismatched_budgets_are_rejected() {
+        let a = tiny_cfg(Technique::Baseline);
+        let mut b = a;
+        b.instructions_per_core += 1;
+        run_lane_group(&[a, b], mixed_streams(), &mut LaneScratch::default());
+    }
+}

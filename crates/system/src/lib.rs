@@ -26,10 +26,12 @@ pub mod bus;
 pub mod config;
 pub mod l1;
 pub mod l2;
+pub mod lanes;
 pub mod stats;
 pub mod system;
 
 pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig, SimKernel};
+pub use lanes::{run_lane_group, LaneScratch};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
 pub use system::{
     run_simulation, run_simulation_with_scratch, run_sources_with_scratch, CmpSystem,

@@ -50,7 +50,10 @@ use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
 use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
 use crate::stats::{IntervalActivity, SimStats};
 use cmpleak_coherence::bus::SnoopKind;
-use cmpleak_cpu::{CoreModel, CorePort, LiveGen, OpSource, ProgressState, StallKind, Workload};
+use cmpleak_cpu::{
+    fetch_margin, CoreModel, CorePort, LiveGen, OpSource, OpWindow, ProgressState, StallKind,
+    Workload,
+};
 use cmpleak_mem::{ArenaStats, BankArena, Geometry, LineAddr, WriteBuffer};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -364,6 +367,16 @@ enum WbRoute {
     Queued,
 }
 
+/// Where a cycle's core ticks fetch their ops from: the system's own
+/// per-core sources (the sequential path) or a shared [`OpWindow`] with
+/// external per-core read positions (the lane engine). Carrying the
+/// window by reference keeps the borrow disjoint from the system's own
+/// fields, so the tick's [`PortAdapter`] splits off cleanly.
+enum Feed<'w> {
+    Own,
+    Window { window: &'w OpWindow, pos: &'w mut [u64] },
+}
+
 /// Adapter giving one core a view of its L1 and write buffer for a cycle.
 struct PortAdapter<'a> {
     now: u64,
@@ -458,7 +471,13 @@ pub struct CmpSystem {
     /// Per-core op delivery channels: live generators (wrapped in
     /// [`LiveGen`]), file-trace replays, or shared in-memory trace
     /// cursors — anything honouring the [`OpSource`] budget contract.
+    /// Empty for window-fed systems ([`CmpSystem::for_window`]), whose
+    /// ops arrive through a shared [`OpWindow`] instead.
     sources: Vec<Box<dyn OpSource>>,
+    /// Per-core workload names for the final statistics — captured at
+    /// construction so window-fed systems (no owned sources) report the
+    /// same `core_workloads` as the sequential path.
+    core_names: Vec<String>,
     l1s: Vec<L1Cache>,
     wbs: Vec<WriteBuffer>,
     l2s: Vec<L2Cache>,
@@ -538,8 +557,31 @@ impl CmpSystem {
         sources: Vec<Box<dyn OpSource>>,
         scratch: &mut SimScratch,
     ) -> Self {
-        cfg.validate();
         assert_eq!(sources.len(), cfg.n_cores, "one op source per core");
+        let core_names = sources.iter().map(|s| s.name().to_string()).collect();
+        Self::build(cfg, sources, core_names, scratch)
+    }
+
+    /// Build a system whose cores are fed from a shared [`OpWindow`]
+    /// through [`CmpSystem::run_segment`] instead of owned sources (the
+    /// lane engine, see [`crate::lanes`]). `core_names` label the
+    /// per-core statistics exactly as the window's sources would.
+    ///
+    /// # Panics
+    /// Panics unless exactly `cfg.n_cores` names are supplied, or if the
+    /// configuration is invalid.
+    pub fn for_window(cfg: CmpConfig, core_names: Vec<String>, scratch: &mut SimScratch) -> Self {
+        assert_eq!(core_names.len(), cfg.n_cores, "one workload name per core");
+        Self::build(cfg, Vec::new(), core_names, scratch)
+    }
+
+    fn build(
+        cfg: CmpConfig,
+        sources: Vec<Box<dyn OpSource>>,
+        core_names: Vec<String>,
+        scratch: &mut SimScratch,
+    ) -> Self {
+        cfg.validate();
         let cores =
             (0..cfg.n_cores).map(|_| CoreModel::new(cfg.core, cfg.instructions_per_core)).collect();
         let mut arena = std::mem::take(&mut scratch.arena);
@@ -563,6 +605,7 @@ impl CmpSystem {
             now: 0,
             cores,
             sources,
+            core_names,
             l1s,
             wbs,
             l2s,
@@ -641,6 +684,83 @@ impl CmpSystem {
         }
     }
 
+    /// Cycles this lane can provably run without any core tick reading
+    /// past the window. A fetching core consumes at most
+    /// [`fetch_margin`] ops per tick, so `available / margin` ticks are
+    /// safe on its stream; the lane-wide bound is the minimum over every
+    /// core that still constrains the window. Cores past their
+    /// instruction budget never fetch again ([`CoreModel::may_fetch`] is
+    /// monotone — instruction counts only grow), and finished streams
+    /// are exempt: their remaining buffered ops are all there will ever
+    /// be, and the budget completes within them (or the cursor's overrun
+    /// panic reports the contract violation). Zero means the very next
+    /// cycle could overrun: pause and refill. Computing a whole budget
+    /// instead of a per-cycle yes/no keeps the starvation guard out of
+    /// the hot loop — one core scan buys thousands of unchecked cycles.
+    fn starvation_free_cycles(&self, window: &OpWindow, pos: &[u64]) -> u64 {
+        let margin = fetch_margin(self.cfg.core.width);
+        let mut safe = u64::MAX;
+        for (c, &p) in pos.iter().enumerate().take(self.cfg.n_cores) {
+            if self.cores[c].may_fetch() && !window.finished(c) {
+                safe = safe.min(window.available(c, p) / margin);
+            }
+        }
+        safe
+    }
+
+    /// Run until completion (`true`) or until the lane needs more ops
+    /// buffered in the shared window (`false`; re-call after
+    /// [`OpWindow::advance`]). `pos` holds the lane's per-core absolute
+    /// read positions and persists across segments; time, pipeline and
+    /// cache state live in `self`, so the cycle sequence is exactly the
+    /// one [`CmpSystem::run_loop`] would produce — pauses land *between*
+    /// cycles and consume nothing.
+    pub(crate) fn run_segment(&mut self, window: &OpWindow, pos: &mut [u64]) -> bool {
+        match self.cfg.kernel {
+            SimKernel::PerCycle => loop {
+                if self.done() || self.now >= self.cfg.max_cycles {
+                    break;
+                }
+                let mut safe = self.starvation_free_cycles(window, pos);
+                if safe == 0 {
+                    return false;
+                }
+                while safe > 0 && !self.done() && self.now < self.cfg.max_cycles {
+                    self.step_cycle_with(&mut Feed::Window { window, pos: &mut *pos });
+                    safe -= 1;
+                }
+            },
+            SimKernel::QuiescenceSkip => {
+                // Mirrors `run_loop`'s skip kernel: quiet spans advance
+                // in bulk. A quiet cycle ticks no core, so skipping
+                // never touches the window and is not charged against
+                // the starvation budget (it consumes no ops).
+                let mut try_skip = false;
+                loop {
+                    if self.done() || self.now >= self.cfg.max_cycles {
+                        break;
+                    }
+                    let mut safe = self.starvation_free_cycles(window, pos);
+                    if safe == 0 {
+                        return false;
+                    }
+                    while safe > 0 && !self.done() && self.now < self.cfg.max_cycles {
+                        if try_skip {
+                            if let Some(target) = self.quiescent_wakeup() {
+                                self.advance_quiet(target);
+                                continue;
+                            }
+                        }
+                        try_skip =
+                            !self.step_cycle_with(&mut Feed::Window { window, pos: &mut *pos });
+                        safe -= 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Drain check. The structural half (queues, cores, events) only
     /// changes on cycles that did work, so it is cached behind
     /// `struct_dirty`; the bus/memory busy horizons are pure time
@@ -661,6 +781,10 @@ impl CmpSystem {
     }
 
     fn step_cycle(&mut self) -> bool {
+        self.step_cycle_with(&mut Feed::Own)
+    }
+
+    fn step_cycle_with(&mut self, feed: &mut Feed) -> bool {
         let mut work = false;
         while let Some(ev) = self.events.pop_due(self.now) {
             self.handle_event(ev);
@@ -670,7 +794,7 @@ impl CmpSystem {
         for core in 0..self.cfg.n_cores {
             work |= self.l2_cycle(core);
         }
-        work |= self.tick_cores();
+        work |= self.tick_cores(feed);
         self.sample_cycle();
         self.now += 1;
         self.struct_dirty |= work;
@@ -1067,7 +1191,7 @@ impl CmpSystem {
 
     // ---- cores ------------------------------------------------------------
 
-    fn tick_cores(&mut self) -> bool {
+    fn tick_cores(&mut self, feed: &mut Feed) -> bool {
         let mut any = false;
         for core in 0..self.cfg.n_cores {
             let mut port = PortAdapter {
@@ -1080,7 +1204,13 @@ impl CmpSystem {
                 read_queue: &mut self.read_queues[core],
                 events: &mut self.events,
             };
-            any |= self.cores[core].tick(self.sources[core].as_mut(), &mut port) > 0;
+            any |= match feed {
+                Feed::Own => self.cores[core].tick(self.sources[core].as_mut(), &mut port),
+                Feed::Window { window, pos } => {
+                    let mut cur = window.cursor(core, &mut pos[core]);
+                    self.cores[core].tick(&mut cur, &mut port)
+                }
+            } > 0;
         }
         any
     }
@@ -1145,7 +1275,7 @@ impl CmpSystem {
     /// Close the books and assemble the statistics. The caches' storage
     /// stays attached (so this can run before the scratch reclaim that
     /// strips it); the trace is moved out.
-    fn finalize(&mut self) -> SimStats {
+    pub(crate) fn finalize(&mut self) -> SimStats {
         self.close_interval(self.now);
         let now = self.now;
         let mut on = 0u64;
@@ -1157,7 +1287,7 @@ impl CmpSystem {
             cycles: now,
             instructions: self.cores.iter().map(|c| c.stats().instructions).sum(),
             cores: self.cores.iter().map(|c| c.stats()).collect(),
-            core_workloads: self.sources.iter().map(|s| s.name().to_string()).collect(),
+            core_workloads: self.core_names.clone(),
             l1: self.l1s.iter().map(|l| l.stats()).collect(),
             l2: self.l2s.iter().map(|l| l.stats()).collect(),
             l2_on_line_cycles: on,
@@ -1182,7 +1312,7 @@ impl CmpSystem {
     /// and queues return for the next run. Must run after
     /// [`CmpSystem::finalize`] (the final accounting pass reads the
     /// line-state banks).
-    fn reclaim_scratch(&mut self, scratch: &mut SimScratch) {
+    pub(crate) fn reclaim_scratch(&mut self, scratch: &mut SimScratch) {
         for l2 in &mut self.l2s {
             l2.release_storage(&mut self.arena);
         }

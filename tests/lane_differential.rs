@@ -1,0 +1,106 @@
+//! The lane-engine differential oracle.
+//!
+//! The lane engine claims that stepping N technique configurations
+//! through **one** decoded op window is bit-identical to running each
+//! configuration alone over its own sources: same `SimStats` (every
+//! counter, every per-core breakdown, every sampled interval) and
+//! therefore the same `PowerReport`. The claim rests on two facts the
+//! suite pins end to end: segment pauses land between cycles and
+//! consume nothing, and the window's `Exec(0)` filtering is
+//! timing- and statistics-neutral. Coverage: baseline + all seven
+//! paper techniques × homogeneous / heterogeneous-mix / trace-replay
+//! scenarios, plus the sweep surface (`run_sweep` with lanes on by
+//! default against `run_sweep_sequential`, serialized cell-for-cell).
+
+use cmp_leakage::core::experiment::{
+    run_experiment, run_experiment_lanes, ExperimentConfig, ExperimentScratch,
+};
+use cmp_leakage::core::sweep::{run_sweep, run_sweep_sequential, SweepConfig};
+use cmp_leakage::core::{Scenario, Technique, WorkloadSpec};
+use cmp_leakage::workloads::ScenarioSpec;
+
+const INSTR: u64 = 25_000;
+const SEED: u64 = 42;
+
+fn all_techniques() -> Vec<Technique> {
+    let mut v = vec![Technique::Baseline];
+    v.extend(Technique::paper_set());
+    v
+}
+
+/// One lane group over baseline + the full paper set must match the
+/// solo run of every member in whole-struct equality.
+fn differential_over_techniques(scenario: Scenario, tag: &str) {
+    let cfgs: Vec<ExperimentConfig> = all_techniques()
+        .into_iter()
+        .map(|technique| {
+            let mut cfg = ExperimentConfig::paper_scenario(scenario.clone(), technique, 1);
+            cfg.instructions_per_core = INSTR;
+            cfg.seed = SEED;
+            cfg
+        })
+        .collect();
+    let laned = run_experiment_lanes(&cfgs, &mut ExperimentScratch::default());
+    assert_eq!(laned.len(), cfgs.len());
+    for (cfg, lane) in cfgs.iter().zip(&laned) {
+        let solo = run_experiment(cfg);
+        assert_eq!(lane.benchmark, solo.benchmark, "{tag}: lanes keep the scenario label");
+        assert_eq!(
+            lane.stats, solo.stats,
+            "{tag}/{}: lane SimStats diverged from the solo run",
+            lane.technique
+        );
+        assert_eq!(
+            lane.power, solo.power,
+            "{tag}/{}: lane PowerReport diverged from the solo run",
+            lane.technique
+        );
+    }
+}
+
+#[test]
+fn lanes_agree_for_every_technique_homogeneous() {
+    differential_over_techniques(Scenario::Homogeneous(WorkloadSpec::water_ns()), "homogeneous");
+}
+
+#[test]
+fn lanes_agree_for_every_technique_mix() {
+    for mix in ScenarioSpec::paper_mixes() {
+        let tag = mix.name.clone();
+        differential_over_techniques(Scenario::Mix(mix), &tag);
+    }
+}
+
+#[test]
+fn lanes_agree_for_every_technique_trace_replay() {
+    let live = Scenario::Homogeneous(WorkloadSpec::mpeg2dec());
+    let path = std::env::temp_dir().join("cmpleak_lane_diff.cmpt");
+    live.record(4, SEED, INSTR).save(&path).expect("trace written");
+    let replay = Scenario::from_trace(&path).expect("trace readable");
+    differential_over_techniques(replay, "trace-replay");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The sweep surface: `run_sweep` (lanes on, default) against
+/// `run_sweep_sequential` (the pre-lane planner: memoization and
+/// stream sharing only), serialized cell-for-cell.
+#[test]
+fn laned_sweep_is_byte_identical_to_sequential_sweep() {
+    let cfg = SweepConfig {
+        scenarios: vec![
+            Scenario::Homogeneous(WorkloadSpec::mpeg2dec()),
+            Scenario::Mix(ScenarioSpec::bursty_idle()),
+        ],
+        sizes_mb: vec![1, 2],
+        techniques: Technique::paper_set(),
+        instructions_per_core: 20_000,
+        seed: 42,
+        n_cores: 4,
+        threads: 4,
+    };
+    let laned = run_sweep(&cfg);
+    let sequential = run_sweep_sequential(&cfg);
+    let a = serde_json::to_string(&laned).expect("serializable");
+    let b = serde_json::to_string(&sequential).expect("serializable");
+    assert_eq!(a, b, "laned sweep diverged from the sequential planner");
+}
