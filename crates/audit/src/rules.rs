@@ -23,6 +23,7 @@ pub const AMBIENT_RNG: &str = "ambient-rng";
 pub const PTR_ORDER: &str = "ptr-order";
 pub const INTERIOR_MUT: &str = "interior-mut";
 pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
+pub const FLOAT_ORDER: &str = "float-order";
 /// Architecture rule (fires from the layering checker, not from source).
 pub const LAYERING: &str = "layering";
 /// Meta rule: a malformed or unknown `audit:allow(...)` annotation.
@@ -36,6 +37,7 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     (PTR_ORDER, "pointer-address-as-usize cast: allocation addresses vary run to run and must never order or key anything"),
     (INTERIOR_MUT, "static mut/RefCell/Cell/UnsafeCell/OnceCell in simulation-state code: hidden shared mutability defeats the sweep workers' isolation"),
     (UNWRAP_IN_LIB, "unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library hot paths: recoverable errors must not abort a sweep"),
+    (FLOAT_ORDER, "f64/f32 reduction co-located with spawn/join/channel/par_iter: float addition is not associative; accumulate per-worker results in fixed index order, never completion order"),
     (LAYERING, "crate dependency violates the workspace layering DAG"),
 ];
 
@@ -73,6 +75,7 @@ pub struct RuleSet {
     pub ptr_order: bool,
     pub interior_mut: bool,
     pub unwrap_in_lib: bool,
+    pub float_order: bool,
 }
 
 impl RuleSet {
@@ -84,6 +87,7 @@ impl RuleSet {
         ptr_order: true,
         interior_mut: true,
         unwrap_in_lib: true,
+        float_order: true,
     };
     /// The benchmark harness: timing and operator-facing panics are its
     /// job, but it still must not smuggle nondeterminism into results.
@@ -236,6 +240,140 @@ fn is_cfg_test_attr(toks: &[Tok<'_>], code: &[usize], ci: usize) -> bool {
     false
 }
 
+/// Identifiers that mark a function as touching parallel execution:
+/// worker spawns, result channels, rayon-style parallel iterators, and
+/// handle joins. (`join` also matches `Path::join`; the rule only fires
+/// when a float reduction sits in the *same* function, which is exactly
+/// the co-location worth a human look — or an `audit:allow`.)
+const THREAD_IDENTS: &[&str] = &[
+    "spawn",
+    "scope",
+    "channel",
+    "sync_channel",
+    "par_iter",
+    "into_par_iter",
+    "par_bridge",
+    "join",
+];
+
+/// Is `code[j]` a float reduction site? Recognized shapes:
+/// `.sum::<f64>()` / `.product::<f32>()` turbofish reductions, and
+/// `.fold(...)` / `.reduce(...)` whose first arguments contain a float
+/// literal (`0.0`) or an `f64`/`f32` type ascription.
+fn float_reduction_site(toks: &[Tok<'_>], code: &[usize], j: usize) -> Option<(u32, String)> {
+    let t = &toks[code[j]];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let get = |k: usize| code.get(j + k).map(|&i| &toks[i]);
+    let is_float_ident = |a: &Tok<'_>| a.is_ident("f64") || a.is_ident("f32");
+    match t.text {
+        "sum" | "product" => {
+            let turbofish = get(1).is_some_and(|a| a.is_punct(":"))
+                && get(2).is_some_and(|a| a.is_punct(":"))
+                && get(3).is_some_and(|a| a.is_punct("<"))
+                && get(4).is_some_and(is_float_ident);
+            turbofish.then(|| (t.line, format!("float `.{}::<_>()` reduction", t.text)))
+        }
+        "fold" | "reduce" => {
+            let is_call =
+                j > 0 && toks[code[j - 1]].is_punct(".") && get(1).is_some_and(|a| a.is_punct("("));
+            if !is_call {
+                return None;
+            }
+            // Look a short window into the arguments for a float seed.
+            for k in 2..14 {
+                let a = get(k)?;
+                if is_float_ident(a) {
+                    return Some((t.line, format!("float-seeded `.{}(...)` reduction", t.text)));
+                }
+                if a.kind == TokKind::Num
+                    && get(k + 1).is_some_and(|x| x.is_punct("."))
+                    && get(k + 2).is_some_and(|x| x.kind == TokKind::Num)
+                {
+                    return Some((t.line, format!("float-seeded `.{}(...)` reduction", t.text)));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// The float-order pass: walk every `fn` body; if it both touches
+/// parallel execution (see [`THREAD_IDENTS`]) and reduces floats, flag
+/// each reduction site. Float addition is not associative, so the only
+/// way a parallel computation stays bit-deterministic is to collect
+/// per-worker results into an indexed structure and reduce in fixed
+/// index order — reducing in completion/merge order silently varies
+/// run to run.
+fn check_float_order(toks: &[Tok<'_>], code: &[usize], path: &str, raw: &mut Vec<Finding>) {
+    let mut flagged: Vec<u32> = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !toks[code[ci]].is_ident("fn") {
+            ci += 1;
+            continue;
+        }
+        // Find the body's opening `{`; hitting `;` first means a
+        // bodyless declaration (trait method, extern).
+        let mut cj = ci + 1;
+        let mut open = None;
+        while cj < code.len() {
+            let t = &toks[code[cj]];
+            if t.is_punct("{") {
+                open = Some(cj);
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            cj += 1;
+        }
+        let Some(lo) = open else {
+            ci = cj + 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut hi = lo;
+        while hi < code.len() {
+            let t = &toks[code[hi]];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            hi += 1;
+        }
+        let threaded = (lo..hi).any(|j| {
+            let t = &toks[code[j]];
+            t.kind == TokKind::Ident && THREAD_IDENTS.contains(&t.text)
+        });
+        if threaded {
+            for j in lo..hi {
+                if let Some((line, what)) = float_reduction_site(toks, code, j) {
+                    if !flagged.contains(&line) {
+                        flagged.push(line);
+                        raw.push(Finding {
+                            rule: FLOAT_ORDER,
+                            file: path.to_string(),
+                            line,
+                            message: format!(
+                                "{what} in a function that spawns/joins parallel work: float addition is not associative — collect per-worker results and reduce in fixed index order, never completion order"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Step past the `fn` keyword only: nested fns get their own scan.
+        ci += 1;
+    }
+}
+
 /// Audit one source file under `rules`. `path` is only used to label
 /// findings.
 pub fn audit_source(path: &str, src: &str, rules: RuleSet) -> FileAudit {
@@ -351,6 +489,10 @@ pub fn audit_source(path: &str, src: &str, rules: RuleSet) -> FileAudit {
             }
             _ => {}
         }
+    }
+
+    if rules.float_order {
+        check_float_order(&toks, &code, path, &mut raw);
     }
 
     // Match findings against allows: an allow on the finding's line or

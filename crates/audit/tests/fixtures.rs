@@ -5,8 +5,8 @@
 
 use cmpleak_audit::arch::{check_layering, parse_manifest, CrateInfo};
 use cmpleak_audit::rules::{
-    audit_source, FileAudit, RuleSet, AMBIENT_RNG, BAD_ALLOW, HASH_ITER, INTERIOR_MUT, LAYERING,
-    PTR_ORDER, UNWRAP_IN_LIB, WALL_CLOCK,
+    audit_source, FileAudit, RuleSet, AMBIENT_RNG, BAD_ALLOW, FLOAT_ORDER, HASH_ITER, INTERIOR_MUT,
+    LAYERING, PTR_ORDER, UNWRAP_IN_LIB, WALL_CLOCK,
 };
 
 fn run(src: &str) -> FileAudit {
@@ -182,6 +182,103 @@ fn unwrap_or_else_and_expect_err_variants_are_clean() {
     // Only the aborting forms fire, not the recovering combinators.
     let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or_else(|| 3) }\n";
     assert!(fired(src).is_empty());
+}
+
+// -------------------------------------------------------------- float-order
+
+#[test]
+fn float_sum_next_to_spawned_workers_fires() {
+    let src = "fn sweep(cells: Vec<Cell>) -> f64 {\n\
+               let handles: Vec<_> = cells.into_iter().map(|c| spawn(move || run(c))).collect();\n\
+               let results: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();\n\
+               results.iter().sum::<f64>()\n\
+               }\n";
+    let got = fired(src);
+    assert!(got.contains(&(FLOAT_ORDER, 4)), "the turbofish float sum must fire: {got:?}");
+}
+
+#[test]
+fn float_seeded_fold_next_to_channel_fires() {
+    let src = "fn collect(rx: Receiver<f64>) -> f64 {\n\
+               let (tx, rx) = channel();\n\
+               rx.iter().fold(0.0, |acc, x| acc + x)\n\
+               }\n";
+    let got = fired(src);
+    assert!(got.contains(&(FLOAT_ORDER, 3)), "the float-seeded fold must fire: {got:?}");
+}
+
+#[test]
+fn fixed_index_order_accumulation_is_the_clean_twin() {
+    // Same parallel shape, but results land in an indexed Vec and the
+    // reduction walks it by index — the pattern the rule demands.
+    let src = "fn sweep(cells: Vec<Cell>) -> f64 {\n\
+               let handles: Vec<_> = cells.into_iter().map(|c| spawn(move || run(c))).collect();\n\
+               let mut results = vec![0.0f64; handles.len()];\n\
+               for (i, h) in handles.into_iter().enumerate() {\n\
+               results[i] = h.join().unwrap();\n\
+               }\n\
+               let mut total = 0.0;\n\
+               for r in &results {\n\
+               total += r;\n\
+               }\n\
+               total\n\
+               }\n";
+    let got = fired(src);
+    assert!(
+        !got.iter().any(|(r, _)| *r == FLOAT_ORDER),
+        "an indexed loop accumulation is exactly the fix and must stay clean: {got:?}"
+    );
+}
+
+#[test]
+fn float_reduction_without_threading_is_clean() {
+    let src = "fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n\
+               fn avg(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, b| a + b) / xs.len() as f64 }\n";
+    let got = fired(src);
+    assert!(
+        !got.iter().any(|(r, _)| *r == FLOAT_ORDER),
+        "sequential reductions are deterministic and must not fire: {got:?}"
+    );
+}
+
+#[test]
+fn integer_reductions_next_to_spawn_are_clean() {
+    let src = "fn count(cells: Vec<Cell>) -> u64 {\n\
+               let handles: Vec<_> = cells.into_iter().map(|c| spawn(move || run(c))).collect();\n\
+               handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()\n\
+               }\n";
+    let got = fired(src);
+    assert!(
+        !got.iter().any(|(r, _)| *r == FLOAT_ORDER),
+        "integer addition is associative; only float reductions fire: {got:?}"
+    );
+}
+
+#[test]
+fn float_order_rule_can_be_disabled_and_allowed() {
+    let src = "fn f() {\n\
+               let h = spawn(|| 1.0f64);\n\
+               let xs = [1.0f64];\n\
+               let _t = xs.iter().sum::<f64>();\n\
+               let _ = h.join();\n\
+               }\n";
+    let off = RuleSet { float_order: false, ..RuleSet::SIM_STATE };
+    let audit = audit_source("fixture.rs", src, off);
+    assert!(!audit.findings.iter().any(|f| f.rule == FLOAT_ORDER));
+
+    let allowed = "fn f() {\n\
+               let h = spawn(|| 1.0f64);\n\
+               let xs = [1.0f64];\n\
+               // audit:allow(float-order, single worker, order is trivially fixed)\n\
+               let _t = xs.iter().sum::<f64>();\n\
+               let _ = h.join();\n\
+               }\n";
+    let audit = run(allowed);
+    assert!(
+        !audit.findings.iter().any(|f| f.rule == FLOAT_ORDER),
+        "a reasoned allow must suppress: {:?}",
+        audit.findings
+    );
 }
 
 // -------------------------------------------------------------- audit:allow

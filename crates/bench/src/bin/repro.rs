@@ -128,6 +128,7 @@ fn cores_scaling(opts: &Opts) {
             n_cores,
             power: Default::default(),
             kernel: Default::default(),
+            engine: Default::default(),
         };
         let base = run_experiment(&mk(Technique::Baseline));
         for technique in [Technique::Protocol, Technique::Decay { decay_cycles: 128 * 1024 }] {

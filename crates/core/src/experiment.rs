@@ -5,8 +5,8 @@ use cmpleak_coherence::Technique;
 use cmpleak_mem::BankArena;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
 use cmpleak_system::{
-    run_lane_group, run_sources_with_scratch, CmpConfig, LaneScratch, SimKernel, SimScratch,
-    SimStats,
+    run_feeds_with_scratch, run_lane_group, CmpConfig, CycleEngine, LaneScratch, SimKernel,
+    SimScratch, SimStats,
 };
 use cmpleak_workloads::WorkloadSpec;
 
@@ -32,6 +32,9 @@ pub struct ExperimentConfig {
     /// Cycle kernel (both produce bit-identical results; the default
     /// quiescence-skipping kernel is simply faster).
     pub kernel: SimKernel,
+    /// Per-cycle engine (both produce bit-identical results; the default
+    /// worklist engine is simply faster).
+    pub engine: CycleEngine,
 }
 
 impl ExperimentConfig {
@@ -52,6 +55,7 @@ impl ExperimentConfig {
             n_cores: 4,
             power: PowerParams::default(),
             kernel: SimKernel::default(),
+            engine: CycleEngine::default(),
         }
     }
 
@@ -62,6 +66,7 @@ impl ExperimentConfig {
         cfg.l2.size_bytes = self.total_l2_mb * 1024 * 1024 / self.n_cores;
         cfg.instructions_per_core = self.instructions_per_core;
         cfg.kernel = self.kernel;
+        cfg.engine = self.engine;
         cfg
     }
 }
@@ -131,9 +136,9 @@ pub fn run_experiment_with_scratch(
     scratch: &mut ExperimentScratch,
 ) -> ExperimentResult {
     let cmp = cfg.cmp_config();
-    let sources = cfg.scenario.build_sources(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
+    let feeds = cfg.scenario.build_feeds(cfg.n_cores, cfg.seed, cfg.instructions_per_core);
     let bank_bytes = cmp.l2.size_bytes;
-    let stats = run_sources_with_scratch(cmp, sources, &mut scratch.sim);
+    let stats = run_feeds_with_scratch(cmp, feeds, &mut scratch.sim);
     let power = evaluate_energy(cfg.power, cfg.technique, cfg.n_cores, bank_bytes, &stats);
     ExperimentResult {
         benchmark: cfg.scenario.label(),

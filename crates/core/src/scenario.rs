@@ -22,6 +22,7 @@
 
 use cmpleak_cpu::{LiveGen, OpSource, Workload};
 use cmpleak_mem::BankArena;
+use cmpleak_system::CoreSource;
 use cmpleak_trace::{record_workloads, MemTrace, TraceFile, TraceRecorder};
 use cmpleak_workloads::{ScenarioSpec, WorkloadSpec};
 use std::io;
@@ -203,6 +204,37 @@ impl Scenario {
                 Self::check_shared(trace, n_cores, seed, instructions_per_core);
                 (0..n_cores).map(|c| Box::new(trace.cursor(c)) as Box<dyn OpSource>).collect()
             }
+        }
+    }
+
+    /// Build the per-core feeds for the simulator's devirtualized hot
+    /// path: the same delivery channels as [`Scenario::build_sources`],
+    /// but wrapped in [`CoreSource`] so `CoreModel::tick` dispatches by
+    /// enum match instead of vtable — live generators ride in
+    /// [`CoreSource::Live`], shared-stream replay cursors in
+    /// [`CoreSource::Trace`]. Op-for-op identical to `build_sources`
+    /// (both reduce to the same workloads/cursors; the simulated results
+    /// are pinned equal by `feeds_match_boxed_sources_bit_for_bit` in
+    /// `cmpleak-system` and the golden sweep snapshot).
+    ///
+    /// # Panics
+    /// As [`Scenario::build_workloads`].
+    pub fn build_feeds(
+        &self,
+        n_cores: usize,
+        seed: u64,
+        instructions_per_core: u64,
+    ) -> Vec<CoreSource> {
+        match self {
+            Scenario::SharedStream { trace } => {
+                Self::check_shared(trace, n_cores, seed, instructions_per_core);
+                (0..n_cores).map(|c| CoreSource::Trace(trace.cursor(c))).collect()
+            }
+            _ => self
+                .build_workloads(n_cores, seed, instructions_per_core)
+                .into_iter()
+                .map(|w| CoreSource::Live(LiveGen::new(w)))
+                .collect(),
         }
     }
 

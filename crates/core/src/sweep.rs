@@ -299,6 +299,7 @@ fn run_sweep_inner(
                         n_cores: cfg.n_cores,
                         power: PowerParams::default(),
                         kernel: Default::default(),
+                        engine: Default::default(),
                     },
                     simulate,
                 ));

@@ -142,6 +142,32 @@ pub enum SimKernel {
     PerCycle,
 }
 
+/// Which per-cycle engine executes a *stepped* cycle.
+///
+/// Orthogonal to [`SimKernel`]: the kernel decides *which* cycles are
+/// stepped (all of them, or only non-quiescent ones); the engine decides
+/// how much of the machine a stepped cycle scans. Both engines produce
+/// **bit-identical** [`SimStats`](crate::SimStats) — enforced by
+/// `tests/cycle_engine_differential.rs` and by the golden sweep
+/// snapshot, which passes under the worklist default without
+/// re-blessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleEngine {
+    /// Worklist engine: an awake-core bitmask limits the per-cycle L2
+    /// port loops and core ticks to cores that can make progress;
+    /// provably blocked cores sleep and are bulk-charged their stall
+    /// and retry statistics when a wake edge (own event, bus grant,
+    /// decay deadline) re-activates them, and the powered-lines
+    /// integral advances as value × span between working cycles.
+    /// Systems with more than 64 cores fall back to the full scan (the
+    /// mask is a single word).
+    #[default]
+    Worklist,
+    /// The classic full scan — every stepped cycle walks all cores —
+    /// kept as the differential reference arm.
+    FullScan,
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CmpConfig {
@@ -173,6 +199,9 @@ pub struct CmpConfig {
     /// Cycle kernel (default: quiescence-skipping; both are
     /// bit-identical, see [`SimKernel`]).
     pub kernel: SimKernel,
+    /// Per-cycle engine (default: worklist; both are bit-identical, see
+    /// [`CycleEngine`]).
+    pub engine: CycleEngine,
 }
 
 impl Default for CmpConfig {
@@ -190,6 +219,7 @@ impl Default for CmpConfig {
             sample_interval: 10_000,
             shadow_tags: true,
             kernel: SimKernel::default(),
+            engine: CycleEngine::default(),
         }
     }
 }

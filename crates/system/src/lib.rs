@@ -30,12 +30,12 @@ pub mod lanes;
 pub mod stats;
 pub mod system;
 
-pub use config::{BusConfig, CmpConfig, L1Config, L2Config, MemConfig, SimKernel};
+pub use config::{BusConfig, CmpConfig, CycleEngine, L1Config, L2Config, MemConfig, SimKernel};
 pub use lanes::{run_lane_group, LaneScratch};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
 pub use system::{
-    run_simulation, run_simulation_with_scratch, run_sources_with_scratch, CmpSystem,
-    EventQueueStats, SimScratch,
+    run_feeds_with_scratch, run_simulation, run_simulation_with_scratch, run_sources_with_scratch,
+    CmpSystem, CoreSource, CycleProfile, EventQueueStats, SimScratch,
 };
 
 // Re-exported so scratch-pool consumers can read arena counters without

@@ -43,18 +43,48 @@
 //!   leakage integral is advanced by `powered × span`, and the blocked
 //!   components are bulk-charged — hence bit-identity, enforced by
 //!   `tests/kernel_differential.rs` and the golden sweep snapshot.
+//!
+//! # Engines
+//!
+//! Orthogonally to the kernel, two *engines* execute a stepped cycle
+//! ([`CycleEngine`]), again bit-identical:
+//!
+//! * **full scan** — phases 3 and 4 walk every core, the reference;
+//! * **worklist** (default) — an awake-core bitmask limits both phases
+//!   to cores that can make progress. A core leaves the active set at
+//!   the end of a cycle when its own per-core slice of the quiescence
+//!   conditions holds (drained, window-blocked, or spinning on a
+//!   provably refused load/store; any L2 queue head provably retried;
+//!   no deferred turn-off) — exactly the per-core conditions of
+//!   [`CmpSystem::quiescent_wakeup`], which are frozen until a wake
+//!   edge. It re-enters on its own events, on *any* bus grant (snoops
+//!   and their side effects are the only cross-core mutation channel),
+//!   at its next decay deadline, and at bulk-skip/finalize boundaries;
+//!   on wake it is bulk-charged the per-cycle stall and retry
+//!   statistics its skipped phases would have accrued (the same
+//!   charges as [`CmpSystem::advance_quiet`]). Waking a core spuriously
+//!   is always harmless — the reference runs every core's phases every
+//!   cycle, and a blocked core's phases change nothing but those
+//!   charges — so only a *missed* wake could break equivalence, and
+//!   the edges above cover every channel that can unblock a core.
+//!   The engine also integrates the powered-lines trace as
+//!   value × span between *working* cycles (powered counts only flip
+//!   on cycles that report work) instead of re-summing every cycle.
+//!   Equivalence is enforced by `tests/cycle_engine_differential.rs`
+//!   and the golden sweep snapshot.
 
 use crate::bus::{BusReq, BusReqKind, SharedBus};
-use crate::config::{CmpConfig, MemConfig, SimKernel};
+use crate::config::{CmpConfig, CycleEngine, MemConfig, SimKernel};
 use crate::l1::{L1Cache, L1LoadOutcome, PendingLoad};
 use crate::l2::{L2Cache, L2ReadOutcome, L2WriteOutcome, SideEffects, UpgradeResult};
 use crate::stats::{IntervalActivity, SimStats};
 use cmpleak_coherence::bus::SnoopKind;
 use cmpleak_cpu::{
     fetch_margin, CoreModel, CorePort, LiveGen, OpSource, OpWindow, ProgressState, StallKind,
-    Workload,
+    TraceOp, Workload,
 };
 use cmpleak_mem::{ArenaStats, BankArena, Geometry, LineAddr, WriteBuffer};
+use cmpleak_trace::MemTraceCursor;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
@@ -68,6 +98,204 @@ enum EvKind {
     DataReady { core: usize, line: LineAddr, shared: bool },
     /// An upper-level invalidation acknowledges (TC/TD Grant).
     Grant { core: usize, slot: usize, line: LineAddr },
+}
+
+impl EvKind {
+    /// The core whose state this event mutates — every event kind is
+    /// addressed to exactly one core (the worklist engine's own-event
+    /// wake edge relies on this).
+    #[inline]
+    fn core(&self) -> usize {
+        match *self {
+            EvKind::L1Hit { core, .. }
+            | EvKind::L2ReadDone { core, .. }
+            | EvKind::DataReady { core, .. }
+            | EvKind::Grant { core, .. } => core,
+        }
+    }
+}
+
+/// A per-core op-delivery backend with enum dispatch: the hot
+/// [`CoreModel::tick`] fetch monomorphizes over this type instead of
+/// going through a `&mut dyn OpSource` vtable, so the two dominant
+/// backends (live generation and shared in-memory trace replay) inline
+/// their `next_op`. Anything else rides in the boxed fallback with the
+/// old virtual-call cost.
+//
+// The size skew is deliberate: `MemTraceCursor` carries its decode
+// batch inline, and there is exactly one `CoreSource` per core, so
+// keeping the batch in-variant (rather than boxing it) saves a pointer
+// chase per fetched op at the cost of a few KiB per core.
+#[allow(clippy::large_enum_variant)]
+pub enum CoreSource {
+    /// A live workload generator (wrapped in [`LiveGen`]).
+    Live(LiveGen),
+    /// A shared in-memory trace cursor (the sweep planner's replay
+    /// path).
+    Trace(MemTraceCursor),
+    /// Any other [`OpSource`] backend, boxed.
+    Dyn(Box<dyn OpSource>),
+}
+
+impl std::fmt::Debug for CoreSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreSource::Live(s) => f.debug_tuple("Live").field(s).finish(),
+            CoreSource::Trace(s) => f.debug_tuple("Trace").field(s).finish(),
+            CoreSource::Dyn(s) => f.debug_tuple("Dyn").field(&s.name()).finish(),
+        }
+    }
+}
+
+impl OpSource for CoreSource {
+    #[inline]
+    fn next_op(&mut self) -> TraceOp {
+        match self {
+            CoreSource::Live(s) => s.next_op(),
+            CoreSource::Trace(s) => cmpleak_cpu::Workload::next_op(s),
+            CoreSource::Dyn(s) => s.next_op(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            CoreSource::Live(s) => s.name(),
+            CoreSource::Trace(s) => cmpleak_cpu::Workload::name(s),
+            CoreSource::Dyn(s) => s.name(),
+        }
+    }
+
+    fn ops_remaining(&self) -> Option<u64> {
+        match self {
+            CoreSource::Live(s) => s.ops_remaining(),
+            CoreSource::Trace(s) => cmpleak_cpu::Workload::ops_remaining(s),
+            CoreSource::Dyn(s) => s.ops_remaining(),
+        }
+    }
+
+    fn fill_ops(&mut self, out: &mut Vec<TraceOp>, max: usize) -> usize {
+        match self {
+            CoreSource::Live(s) => s.fill_ops(out, max),
+            CoreSource::Trace(s) => cmpleak_cpu::Workload::fill_ops(s, out, max),
+            CoreSource::Dyn(s) => s.fill_ops(out, max),
+        }
+    }
+}
+
+/// What a sleeping core's skipped per-cycle ticks would have charged —
+/// fixed by its [`ProgressState`] at the moment it left the active set
+/// (and provably constant while it sleeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum SleepCharge {
+    /// Drained: nothing accrues.
+    #[default]
+    Idle,
+    /// Window-blocked behind an incomplete load: one window stall per
+    /// cycle.
+    Window,
+    /// Spinning on a load the L1 provably keeps refusing: one reject
+    /// stall per cycle.
+    RejectLoad,
+    /// Spinning on a store the write buffer provably keeps refusing:
+    /// one reject stall and one write-buffer full-stall per cycle.
+    RejectStore,
+}
+
+/// Deferred accounting for a core outside the active set. `since` is
+/// the first cycle whose phases were skipped; on wake at cycle `w`, the
+/// span `w - since` is bulk-charged exactly as
+/// [`CmpSystem::advance_quiet`] would have charged it.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoreSleep {
+    since: u64,
+    charge: SleepCharge,
+    /// The L2 read queue head is present and provably retried: one L2
+    /// retry per cycle.
+    read_jam: bool,
+    /// The write drain head (retry queue, then write buffer) is present
+    /// and provably retried: one L2 retry per cycle.
+    write_jam: bool,
+    /// The L2's next decay deadline at sleep time (frozen while
+    /// asleep): the core must be back in the active set by then so its
+    /// decay ticks are processed on time.
+    decay_at: Option<u64>,
+}
+
+/// Cached per-core slice of the interval [`Snapshot`], refreshed only
+/// for cores whose counters may have moved since the last interval
+/// close (`snap_dirty` accumulates the awake mask).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CoreSnap {
+    instructions: u64,
+    l1_accesses: u64,
+    l2_reads: u64,
+    l2_writes: u64,
+    decay_events: u64,
+}
+
+/// Cycle-cost attribution counters of one run. All recording is
+/// compiled out unless the `cycle-profile` cargo feature is enabled, so
+/// the default build pays nothing; with the feature on, the counters
+/// say where the per-cycle budget went — cycles stepped vs skipped in
+/// bulk, per-core phases (one core's L2 port loop + tick in one stepped
+/// cycle) executed vs suppressed by the worklist, events popped and bus
+/// grants. Diagnostic only: never part of [`SimStats`] or the
+/// bit-identity contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleProfile {
+    /// Cycles executed by `step_cycle`.
+    pub cycles_stepped: u64,
+    /// Cycles advanced in bulk by the quiescence-skip kernel.
+    pub cycles_skipped: u64,
+    /// Events delivered.
+    pub events_popped: u64,
+    /// Successful bus grants (including conflict NACK-retries).
+    pub bus_grants: u64,
+    /// Per-core phases executed in stepped cycles.
+    pub core_phases_run: u64,
+    /// Per-core phases suppressed by the worklist engine (the core was
+    /// outside the active set).
+    pub core_phases_suppressed: u64,
+}
+
+impl CycleProfile {
+    #[inline]
+    fn on_step(&mut self, run: u64, suppressed: u64) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.cycles_stepped += 1;
+            self.core_phases_run += run;
+            self.core_phases_suppressed += suppressed;
+        }
+        #[cfg(not(feature = "cycle-profile"))]
+        let _ = (run, suppressed);
+    }
+
+    #[inline]
+    fn on_skip(&mut self, span: u64) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.cycles_skipped += span;
+        }
+        #[cfg(not(feature = "cycle-profile"))]
+        let _ = span;
+    }
+
+    #[inline]
+    fn on_event(&mut self) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.events_popped += 1;
+        }
+    }
+
+    #[inline]
+    fn on_grant(&mut self) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.bus_grants += 1;
+        }
+    }
 }
 
 /// Minimum (and default) bucket-ring window of the delayed event queue.
@@ -420,7 +648,7 @@ impl CorePort for PortAdapter<'_> {
 }
 
 /// Snapshot of cumulative counters for interval differencing.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Snapshot {
     instructions: u64,
     l1_accesses: u64,
@@ -446,6 +674,7 @@ pub struct SimScratch {
     read_queues: Vec<VecDeque<LineAddr>>,
     write_retries: Vec<RetryQueue>,
     arena: BankArena,
+    profile: CycleProfile,
 }
 
 impl SimScratch {
@@ -461,6 +690,12 @@ impl SimScratch {
     pub fn event_queue_stats(&self) -> EventQueueStats {
         self.events.stats()
     }
+
+    /// Cycle-cost attribution counters of the most recently *completed*
+    /// run (all zero unless the `cycle-profile` feature is enabled).
+    pub fn cycle_profile(&self) -> CycleProfile {
+        self.profile
+    }
 }
 
 /// The simulated CMP.
@@ -469,11 +704,12 @@ pub struct CmpSystem {
     now: u64,
     cores: Vec<CoreModel>,
     /// Per-core op delivery channels: live generators (wrapped in
-    /// [`LiveGen`]), file-trace replays, or shared in-memory trace
-    /// cursors — anything honouring the [`OpSource`] budget contract.
-    /// Empty for window-fed systems ([`CmpSystem::for_window`]), whose
-    /// ops arrive through a shared [`OpWindow`] instead.
-    sources: Vec<Box<dyn OpSource>>,
+    /// [`LiveGen`]), shared in-memory trace cursors, or any other
+    /// [`OpSource`] backend boxed — enum-dispatched ([`CoreSource`]) so
+    /// the hot fetch inlines. Empty for window-fed systems
+    /// ([`CmpSystem::for_window`]), whose ops arrive through a shared
+    /// [`OpWindow`] instead.
+    sources: Vec<CoreSource>,
     /// Per-core workload names for the final statistics — captured at
     /// construction so window-fed systems (no owned sources) report the
     /// same `core_workloads` as the sequential path.
@@ -506,6 +742,39 @@ pub struct CmpSystem {
     /// quiet cycle.
     struct_dirty: bool,
     struct_quiet: bool,
+    // ---- worklist engine state (see the module docs, "Engines") ----
+    /// Effective engine: the configured [`CycleEngine::Worklist`] with
+    /// the >64-core fallback to the full scan already applied.
+    worklist: bool,
+    /// One bit per core in the active set. Ground truth for sleep
+    /// state; `sleep[c]` is meaningful only while bit `c` is clear.
+    awake: u64,
+    /// All `n_cores` bits set.
+    all_mask: u64,
+    /// Deferred accounting of sleeping cores.
+    sleep: Vec<CoreSleep>,
+    /// Earliest decay deadline over the sleeping cores (`u64::MAX` when
+    /// none): reaching it triggers a due-deadline scan so decay ticks
+    /// are processed exactly on time. May be stale-low after a wake —
+    /// the scan then recomputes it.
+    next_core_wake: u64,
+    /// Σ `powered_lines()` over all L2s as of the last working cycle
+    /// (powered counts only flip on cycles that report work).
+    powered_cache: u64,
+    /// First cycle not yet charged into `interval_powered`; cycles
+    /// `[powered_synced_at, t)` are charged at `powered_cache` each by
+    /// [`CmpSystem::sync_powered_to`].
+    powered_synced_at: u64,
+    /// Σ lines over all L2s, cached at construction (pure geometry).
+    lines_total: u64,
+    /// Per-core interval-snapshot cache + running aggregate, refreshed
+    /// only for cores in `snap_dirty` at interval closes.
+    core_snaps: Vec<CoreSnap>,
+    snap_agg: Snapshot,
+    snap_dirty: u64,
+    /// Cycle-cost attribution (no-op unless the `cycle-profile` feature
+    /// is on).
+    profile: CycleProfile,
 }
 
 impl std::fmt::Debug for CmpSystem {
@@ -557,6 +826,18 @@ impl CmpSystem {
         sources: Vec<Box<dyn OpSource>>,
         scratch: &mut SimScratch,
     ) -> Self {
+        Self::with_feeds(cfg, sources.into_iter().map(CoreSource::Dyn).collect(), scratch)
+    }
+
+    /// Like [`CmpSystem::with_sources`], but over enum-dispatched
+    /// [`CoreSource`] backends, so live-generation and shared-trace
+    /// fetches inline into the core tick instead of paying a virtual
+    /// call per op.
+    ///
+    /// # Panics
+    /// Panics unless exactly `cfg.n_cores` feeds are supplied, or if
+    /// the configuration is invalid.
+    pub fn with_feeds(cfg: CmpConfig, sources: Vec<CoreSource>, scratch: &mut SimScratch) -> Self {
         assert_eq!(sources.len(), cfg.n_cores, "one op source per core");
         let core_names = sources.iter().map(|s| s.name().to_string()).collect();
         Self::build(cfg, sources, core_names, scratch)
@@ -577,7 +858,7 @@ impl CmpSystem {
 
     fn build(
         cfg: CmpConfig,
-        sources: Vec<Box<dyn OpSource>>,
+        sources: Vec<CoreSource>,
         core_names: Vec<String>,
         scratch: &mut SimScratch,
     ) -> Self {
@@ -587,10 +868,16 @@ impl CmpSystem {
         let mut arena = std::mem::take(&mut scratch.arena);
         let l1s = (0..cfg.n_cores).map(|_| L1Cache::new_in(&cfg.l1, &mut arena)).collect();
         let wbs = (0..cfg.n_cores).map(|_| WriteBuffer::new(cfg.l1.write_buffer)).collect();
-        let l2s = (0..cfg.n_cores)
+        let l2s: Vec<L2Cache> = (0..cfg.n_cores)
             .map(|_| L2Cache::new_in(&cfg.l2, cfg.technique, cfg.shadow_tags, &mut arena))
             .collect();
         let bus = SharedBus::new(cfg.bus, cfg.mem, cfg.l2.line_bytes);
+        // The worklist's active-set mask is one machine word; wider
+        // systems fall back to the full scan (bit-identical anyway).
+        let worklist = cfg.engine == CycleEngine::Worklist && cfg.n_cores <= 64;
+        let all_mask = if cfg.n_cores >= 64 { !0u64 } else { (1u64 << cfg.n_cores) - 1 };
+        let lines_total = l2s.iter().map(|l| l.geometry().lines() as u64).sum();
+        let powered_cache = l2s.iter().map(|l| l.powered_lines()).sum();
         let mut events = std::mem::take(&mut scratch.events);
         events.reset(EventQueue::window_for(&cfg.mem));
         let mut fx = std::mem::take(&mut scratch.fx);
@@ -624,6 +911,18 @@ impl CmpSystem {
             interval_start: 0,
             struct_dirty: true,
             struct_quiet: false,
+            worklist,
+            awake: all_mask,
+            all_mask,
+            sleep: vec![CoreSleep::default(); cfg.n_cores],
+            next_core_wake: u64::MAX,
+            powered_cache,
+            powered_synced_at: 0,
+            lines_total,
+            core_snaps: vec![CoreSnap::default(); cfg.n_cores],
+            snap_agg: Snapshot::default(),
+            snap_dirty: all_mask,
+            profile: CycleProfile::default(),
             arena,
             cfg,
         }
@@ -650,6 +949,12 @@ impl CmpSystem {
     /// [`EventQueueStats`]).
     pub fn event_queue_stats(&self) -> EventQueueStats {
         self.events.stats()
+    }
+
+    /// Cycle-cost attribution counters (all zero unless the
+    /// `cycle-profile` feature is enabled; see [`CycleProfile`]).
+    pub fn cycle_profile(&self) -> CycleProfile {
+        self.profile
     }
 
     fn run_loop(&mut self) {
@@ -785,20 +1090,251 @@ impl CmpSystem {
     }
 
     fn step_cycle_with(&mut self, feed: &mut Feed) -> bool {
+        if self.worklist {
+            self.step_cycle_worklist(feed)
+        } else {
+            self.step_cycle_scan(feed)
+        }
+    }
+
+    /// The reference engine: every stepped cycle walks every core.
+    fn step_cycle_scan(&mut self, feed: &mut Feed) -> bool {
         let mut work = false;
         while let Some(ev) = self.events.pop_due(self.now) {
+            self.profile.on_event();
             self.handle_event(ev);
             work = true;
         }
-        work |= self.bus_grant();
+        if self.bus_grant() {
+            self.profile.on_grant();
+            work = true;
+        }
         for core in 0..self.cfg.n_cores {
             work |= self.l2_cycle(core);
         }
-        work |= self.tick_cores(feed);
+        for core in 0..self.cfg.n_cores {
+            work |= self.tick_core(core, feed);
+        }
+        self.profile.on_step(self.cfg.n_cores as u64, 0);
         self.sample_cycle();
         self.now += 1;
         self.struct_dirty |= work;
         work
+    }
+
+    /// The worklist engine: phases 3 and 4 visit only the active set.
+    /// Bit-identical to [`CmpSystem::step_cycle_scan`] — a core outside
+    /// the set would have contributed nothing but its per-cycle stall
+    /// and retry charges, which are settled in bulk when it wakes. See
+    /// the module docs ("Engines") for the invariants.
+    fn step_cycle_worklist(&mut self, feed: &mut Feed) -> bool {
+        let mut work = false;
+        // Every event is addressed to one core and mutates only that
+        // core's state: wake it (settling its deferred charges) before
+        // delivery.
+        while let Some(ev) = self.events.pop_due(self.now) {
+            self.profile.on_event();
+            self.wake(ev.core());
+            self.handle_event(ev);
+            work = true;
+        }
+        // A grant snoops every other L2 and routes side effects into
+        // other cores' L1s — the only cross-core mutation channel — so
+        // any grant (including a conflict NACK-retry) wakes everyone.
+        // Spurious wakes are harmless; missed ones would not be.
+        if self.bus_grant() {
+            self.profile.on_grant();
+            self.wake_all();
+            work = true;
+        }
+        // Sleeping cores skip their L2 phase, so their decay clocks are
+        // processed exactly at the deadline recorded when they slept
+        // (frozen while asleep: only own phases and snoops move it).
+        if self.now >= self.next_core_wake {
+            self.wake_due_decays();
+        }
+        let awake = self.awake;
+        let mut pending = awake;
+        while pending != 0 {
+            let core = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            work |= self.l2_cycle(core);
+        }
+        let mut pending = self.awake;
+        while pending != 0 {
+            let core = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            work |= self.tick_core(core, feed);
+        }
+        let run = self.awake.count_ones() as u64;
+        self.profile.on_step(run, self.cfg.n_cores as u64 - run);
+        // Powered-lines integral, value × span form: powered counts
+        // flip only on cycles that report work (a no-work cycle touches
+        // no L2 state), so on a working cycle the elapsed span is
+        // charged at the old value and the new value covers this cycle.
+        if work {
+            self.sync_powered_to(self.now);
+            let p: u64 = self.l2s.iter().map(|l| l.powered_lines()).sum();
+            self.powered_cache = p;
+            self.interval_powered += p;
+            self.powered_synced_at = self.now + 1;
+        }
+        // Any counter a cycle can move belongs to a core that was awake
+        // during it (snoop cycles wake everyone), so the interval
+        // snapshot only needs to refresh these.
+        self.snap_dirty |= self.awake;
+        let mut pending = self.awake;
+        while pending != 0 {
+            let core = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.try_sleep(core);
+        }
+        if self.now + 1 - self.interval_start >= self.cfg.sample_interval {
+            self.close_interval(self.now + 1);
+        }
+        self.now += 1;
+        self.struct_dirty |= work;
+        work
+    }
+
+    // ---- worklist engine --------------------------------------------------
+
+    /// Charge a sleeping core the per-cycle statistics its skipped
+    /// phases would have accrued — the same spec as
+    /// [`CmpSystem::advance_quiet`]: one stall of its blocking kind per
+    /// cycle, one write-buffer full-stall per cycle when spinning on a
+    /// refused store, and one L2 retry per jammed queue head per cycle.
+    fn settle_core(&mut self, core: usize) {
+        let s = self.sleep[core];
+        let span = self.now - s.since;
+        if span == 0 {
+            return;
+        }
+        match s.charge {
+            SleepCharge::Idle => {}
+            SleepCharge::Window => self.cores[core].charge_stall_cycles(StallKind::Window, span),
+            SleepCharge::RejectLoad => {
+                self.cores[core].charge_stall_cycles(StallKind::Reject, span)
+            }
+            SleepCharge::RejectStore => {
+                self.cores[core].charge_stall_cycles(StallKind::Reject, span);
+                self.wbs[core].charge_full_stalls(span);
+            }
+        }
+        if s.read_jam {
+            self.l2s[core].charge_retries(span);
+        }
+        if s.write_jam {
+            self.l2s[core].charge_retries(span);
+        }
+    }
+
+    /// Return `core` to the active set, settling its deferred charges.
+    #[inline]
+    fn wake(&mut self, core: usize) {
+        let bit = 1u64 << core;
+        if self.awake & bit == 0 {
+            self.settle_core(core);
+            self.awake |= bit;
+        }
+    }
+
+    /// Wake every sleeping core (bus grant, bulk skip, finalize).
+    fn wake_all(&mut self) {
+        let mut sleeping = self.all_mask & !self.awake;
+        while sleeping != 0 {
+            let core = sleeping.trailing_zeros() as usize;
+            sleeping &= sleeping - 1;
+            self.settle_core(core);
+        }
+        self.awake = self.all_mask;
+        self.next_core_wake = u64::MAX;
+    }
+
+    /// Scan sleeping cores for due decay deadlines, wake them, and
+    /// recompute the earliest remaining deadline (the stored minimum
+    /// may be stale-low after wakes — recomputing here keeps the scan
+    /// from re-triggering every cycle).
+    #[cold]
+    fn wake_due_decays(&mut self) {
+        let mut next = u64::MAX;
+        let mut sleeping = self.all_mask & !self.awake;
+        while sleeping != 0 {
+            let core = sleeping.trailing_zeros() as usize;
+            sleeping &= sleeping - 1;
+            match self.sleep[core].decay_at {
+                Some(t) if t <= self.now => self.wake(core),
+                Some(t) => next = next.min(t),
+                None => {}
+            }
+        }
+        self.next_core_wake = next;
+    }
+
+    /// Remove `core` from the active set if its phases are provably
+    /// no-ops until a wake edge — the per-core slice of the conditions
+    /// [`CmpSystem::quiescent_wakeup`] checks globally. Evaluated at
+    /// the end of a cycle, after the core's phases ran.
+    fn try_sleep(&mut self, core: usize) {
+        let charge = match self.cores[core].progress_state() {
+            ProgressState::Ready => return,
+            ProgressState::Idle => SleepCharge::Idle,
+            ProgressState::WindowBlocked => SleepCharge::Window,
+            ProgressState::RetryLoad(addr) => {
+                // Sleepable only if the L1 provably keeps refusing the
+                // retried load (its state is frozen until an event).
+                let line = self.cfg.l1.geometry().line_of(addr);
+                if !self.l1s[core].load_would_refuse(line) {
+                    return;
+                }
+                SleepCharge::RejectLoad
+            }
+            ProgressState::RetryStore(addr) => {
+                let line = self.cfg.l1.geometry().line_of(addr);
+                if !self.wbs[core].store_would_refuse(line) {
+                    return;
+                }
+                SleepCharge::RejectStore
+            }
+        };
+        if self.l2s[core].has_deferred_turnoffs() {
+            return;
+        }
+        let read_jam = match self.read_queues[core].front() {
+            Some(&line) => {
+                if !self.l2s[core].read_would_retry(line) {
+                    return;
+                }
+                true
+            }
+            None => false,
+        };
+        let write_jam = match self.write_retries[core].front().or_else(|| self.wbs[core].head()) {
+            Some(line) => {
+                if !self.l2s[core].write_would_retry(line) {
+                    return;
+                }
+                true
+            }
+            None => false,
+        };
+        let decay_at = self.l2s[core].next_decay_deadline();
+        self.sleep[core] = CoreSleep { since: self.now + 1, charge, read_jam, write_jam, decay_at };
+        self.awake &= !(1u64 << core);
+        if let Some(t) = decay_at {
+            self.next_core_wake = self.next_core_wake.min(t);
+        }
+    }
+
+    /// Charge cycles `[powered_synced_at, t)` into the interval's
+    /// powered-lines integral at the cached (provably constant over
+    /// that span) value.
+    #[inline]
+    fn sync_powered_to(&mut self, t: u64) {
+        if t > self.powered_synced_at {
+            self.interval_powered += self.powered_cache * (t - self.powered_synced_at);
+            self.powered_synced_at = t;
+        }
     }
 
     // ---- quiescence skipping ----------------------------------------------
@@ -905,8 +1441,18 @@ impl CmpSystem {
     /// head probe would have accrued each cycle.
     fn advance_quiet(&mut self, target: u64) {
         let span = target - self.now;
-        let powered: u64 = self.l2s.iter().map(|l| l.powered_lines()).sum();
-        self.interval_powered += powered * span;
+        self.profile.on_skip(span);
+        if self.worklist {
+            // Settle every sleeping core through `now` first, so the
+            // bulk charges below cover exactly `[now, target)` with no
+            // overlap; the powered integral stays lazy (the value is
+            // frozen over the span, so `sync_powered_to` at the next
+            // interval close or working cycle charges it exactly).
+            self.wake_all();
+        } else {
+            let powered: u64 = self.l2s.iter().map(|l| l.powered_lines()).sum();
+            self.interval_powered += powered * span;
+        }
         for core in 0..self.cfg.n_cores {
             match self.cores[core].progress_state() {
                 ProgressState::Idle => {}
@@ -1191,33 +1737,78 @@ impl CmpSystem {
 
     // ---- cores ------------------------------------------------------------
 
-    fn tick_cores(&mut self, feed: &mut Feed) -> bool {
-        let mut any = false;
-        for core in 0..self.cfg.n_cores {
-            let mut port = PortAdapter {
-                now: self.now,
-                core,
-                geom: self.cfg.l1.geometry(),
-                l1_hit_latency: self.cfg.l1.hit_latency,
-                l1: &mut self.l1s[core],
-                wb: &mut self.wbs[core],
-                read_queue: &mut self.read_queues[core],
-                events: &mut self.events,
-            };
-            any |= match feed {
-                Feed::Own => self.cores[core].tick(self.sources[core].as_mut(), &mut port),
-                Feed::Window { window, pos } => {
-                    let mut cur = window.cursor(core, &mut pos[core]);
-                    self.cores[core].tick(&mut cur, &mut port)
-                }
-            } > 0;
-        }
-        any
+    /// One core's tick phase: fetch through the feed (own enum-dispatch
+    /// sources or the shared window cursor — both monomorphized) into a
+    /// fresh [`PortAdapter`].
+    #[inline]
+    fn tick_core(&mut self, core: usize, feed: &mut Feed) -> bool {
+        let mut port = PortAdapter {
+            now: self.now,
+            core,
+            geom: self.cfg.l1.geometry(),
+            l1_hit_latency: self.cfg.l1.hit_latency,
+            l1: &mut self.l1s[core],
+            wb: &mut self.wbs[core],
+            read_queue: &mut self.read_queues[core],
+            events: &mut self.events,
+        };
+        (match feed {
+            Feed::Own => self.cores[core].tick(&mut self.sources[core], &mut port),
+            Feed::Window { window, pos } => {
+                let mut cur = window.cursor(core, &mut pos[core]);
+                self.cores[core].tick(&mut cur, &mut port)
+            }
+        }) > 0
     }
 
     // ---- sampling -----------------------------------------------------------
 
-    fn counters(&self) -> Snapshot {
+    /// Interval snapshot. The worklist engine refreshes only the
+    /// per-core slices whose counters may have moved since the last
+    /// close (`snap_dirty` accumulates the awake mask — a sleeping
+    /// core's counters are provably frozen); the full scan recomputes
+    /// everything, and a debug assertion pins the two against each
+    /// other.
+    fn counters(&mut self) -> Snapshot {
+        if !self.worklist {
+            return self.counters_scan();
+        }
+        let mut dirty = self.snap_dirty;
+        while dirty != 0 {
+            let core = dirty.trailing_zeros() as usize;
+            dirty &= dirty - 1;
+            let old = self.core_snaps[core];
+            let new = self.core_snap_of(core);
+            self.snap_agg.instructions += new.instructions - old.instructions;
+            self.snap_agg.l1_accesses += new.l1_accesses - old.l1_accesses;
+            self.snap_agg.l2_reads += new.l2_reads - old.l2_reads;
+            self.snap_agg.l2_writes += new.l2_writes - old.l2_writes;
+            self.snap_agg.decay_events += new.decay_events - old.decay_events;
+            self.core_snaps[core] = new;
+        }
+        self.snap_dirty = 0;
+        let mut s = self.snap_agg;
+        s.bus_transactions = self.bus.transactions;
+        s.bus_bytes = self.bus.bus_bytes;
+        s.mem_bytes = self.bus.mem_bytes;
+        debug_assert_eq!(s, self.counters_scan(), "delta-tracked snapshot drifted");
+        s
+    }
+
+    fn core_snap_of(&self, core: usize) -> CoreSnap {
+        let l1 = self.l1s[core].stats();
+        let l2 = self.l2s[core].stats();
+        let d = self.l2s[core].decay_stats();
+        CoreSnap {
+            instructions: self.cores[core].stats().instructions,
+            l1_accesses: l1.loads + l1.stores,
+            l2_reads: l2.reads,
+            l2_writes: l2.writes,
+            decay_events: d.increments + d.resets,
+        }
+    }
+
+    fn counters_scan(&self) -> Snapshot {
         let mut s = Snapshot::default();
         for c in &self.cores {
             s.instructions += c.stats().instructions;
@@ -1252,8 +1843,14 @@ impl CmpSystem {
         if elapsed == 0 {
             return;
         }
+        if self.worklist {
+            // Bring the lazily integrated powered-lines trace up to the
+            // boundary (the value is frozen since the last working
+            // cycle).
+            self.sync_powered_to(end);
+        }
         let snap = self.counters();
-        let lines_total: u64 = self.l2s.iter().map(|l| l.geometry().lines() as u64).sum();
+        let lines_total = self.lines_total;
         self.trace.push(IntervalActivity {
             cycles: elapsed,
             instructions: snap.instructions - self.last_snap.instructions,
@@ -1276,13 +1873,18 @@ impl CmpSystem {
     /// stays attached (so this can run before the scratch reclaim that
     /// strips it); the trace is moved out.
     pub(crate) fn finalize(&mut self) -> SimStats {
+        if self.worklist {
+            // Settle every sleeping core's deferred stall/retry charges
+            // before the books close.
+            self.wake_all();
+        }
         self.close_interval(self.now);
         let now = self.now;
         let mut on = 0u64;
         for l2 in &mut self.l2s {
             on += l2.finish_on_cycles(now);
         }
-        let lines_total: u64 = self.l2s.iter().map(|l| l.geometry().lines() as u64).sum();
+        let lines_total = self.lines_total;
         SimStats {
             cycles: now,
             instructions: self.cores.iter().map(|c| c.stats().instructions).sum(),
@@ -1324,6 +1926,7 @@ impl CmpSystem {
         scratch.fx = std::mem::take(&mut self.fx);
         scratch.read_queues = std::mem::take(&mut self.read_queues);
         scratch.write_retries = std::mem::take(&mut self.write_retries);
+        scratch.profile = self.profile;
     }
 }
 
@@ -1351,7 +1954,18 @@ pub fn run_sources_with_scratch(
     sources: Vec<Box<dyn OpSource>>,
     scratch: &mut SimScratch,
 ) -> SimStats {
-    let mut sys = CmpSystem::with_sources(cfg, sources, scratch);
+    run_feeds_with_scratch(cfg, sources.into_iter().map(CoreSource::Dyn).collect(), scratch)
+}
+
+/// [`run_simulation_with_scratch`] over enum-dispatched [`CoreSource`]
+/// feeds — the devirtualized delivery path: live generators and shared
+/// trace cursors inline their fetch into the core tick.
+pub fn run_feeds_with_scratch(
+    cfg: CmpConfig,
+    feeds: Vec<CoreSource>,
+    scratch: &mut SimScratch,
+) -> SimStats {
+    let mut sys = CmpSystem::with_feeds(cfg, feeds, scratch);
     sys.run_loop();
     let stats = sys.finalize();
     sys.reclaim_scratch(scratch);
@@ -1527,6 +2141,134 @@ mod tests {
         let skipping = run_simulation(cfg, wl());
         assert_eq!(reference, skipping, "kernels must be bit-identical");
         skipping
+    }
+
+    /// Run the full kernel × engine matrix and assert all four cells
+    /// agree bit for bit.
+    fn run_engine_matrix(cfg: CmpConfig, wl: impl Fn() -> Vec<Box<dyn Workload>>) -> SimStats {
+        let mut out = Vec::new();
+        for kernel in [SimKernel::PerCycle, SimKernel::QuiescenceSkip] {
+            for engine in [CycleEngine::FullScan, CycleEngine::Worklist] {
+                let mut c = cfg;
+                c.kernel = kernel;
+                c.engine = engine;
+                out.push((kernel, engine, run_simulation(c, wl())));
+            }
+        }
+        let (_, _, reference) = out[0].clone();
+        for (kernel, engine, stats) in &out[1..] {
+            assert_eq!(&reference, stats, "{kernel:?} × {engine:?} diverged from the reference");
+        }
+        reference
+    }
+
+    #[test]
+    fn engines_bit_identical_on_private_and_sharing_streams() {
+        for technique in [
+            Technique::Baseline,
+            Technique::Protocol,
+            Technique::Decay { decay_cycles: 2048 },
+            Technique::SelectiveDecay { decay_cycles: 4096 },
+        ] {
+            run_engine_matrix(tiny_cfg(technique), private_streams);
+            run_engine_matrix(tiny_cfg(technique), sharing_streams);
+        }
+    }
+
+    #[test]
+    fn engines_bit_identical_with_idle_cores_and_memory_stalls() {
+        // Core 0 drains early (long Idle sleeps in the worklist
+        // engine); core 1 streams loads (window-blocked sleeps).
+        let wl = || -> Vec<Box<dyn Workload>> {
+            vec![
+                Box::new(ReplayWorkload::cycle(vec![TraceOp::Exec(64), TraceOp::Load(1 << 21)])),
+                Box::new(ReplayWorkload::cycle(
+                    (0..2048u64).map(|i| TraceOp::Load((2 << 20) + i * 64)).collect(),
+                )),
+            ]
+        };
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        cfg.instructions_per_core = 10_000;
+        let stats = run_engine_matrix(cfg, wl);
+        assert!(stats.cores[1].window_stall_cycles > 0, "stalls must occur to be settled");
+    }
+
+    #[test]
+    fn engines_bit_identical_through_blocked_write_bursts() {
+        // Retry-storm: write buffers fill, drains jam on a saturated L2
+        // MSHR, cores spin on refused stores. The worklist engine must
+        // settle reject stalls, wb full-stalls and per-head L2 retries
+        // exactly as the per-cycle probes would have charged them.
+        let wl = || -> Vec<Box<dyn Workload>> {
+            (0..2)
+                .map(|c| {
+                    let base = (c as u64 + 1) << 21;
+                    let ops: Vec<TraceOp> =
+                        (0..4096u64).map(|i| TraceOp::Store(base + i * 64)).collect();
+                    Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+                })
+                .collect()
+        };
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        cfg.instructions_per_core = 6_000;
+        cfg.mem.latency = 1_000;
+        let stats = run_engine_matrix(cfg, wl);
+        let rejects: u64 = stats.cores.iter().map(|c| c.reject_stall_cycles).sum();
+        assert!(rejects > 0, "cores must actually block on refused stores");
+    }
+
+    #[test]
+    fn engines_bit_identical_through_blocked_read_bursts() {
+        let wl = || -> Vec<Box<dyn Workload>> {
+            (0..2)
+                .map(|c| {
+                    let base = (c as u64 + 1) << 21;
+                    let ops: Vec<TraceOp> =
+                        (0..4096u64).map(|i| TraceOp::Load(base + i * 64)).collect();
+                    Box::new(ReplayWorkload::cycle(ops)) as Box<dyn Workload>
+                })
+                .collect()
+        };
+        let mut cfg = tiny_cfg(Technique::Protocol);
+        cfg.instructions_per_core = 6_000;
+        cfg.mem.latency = 1_000;
+        cfg.l1.mshr_entries = 16;
+        cfg.l2.mshr_entries = 2;
+        cfg.core.max_outstanding_loads = 16;
+        let stats = run_engine_matrix(cfg, wl);
+        let retries: u64 = stats.l2.iter().map(|s| s.retries).sum();
+        assert!(retries > 0, "the blocked read head must accrue L2 retries");
+    }
+
+    #[test]
+    fn engines_bit_identical_at_cycle_cap_and_single_core() {
+        let mut cfg = tiny_cfg(Technique::Decay { decay_cycles: 1024 });
+        cfg.max_cycles = 7_777; // cut mid-run, also mid-interval
+        let stats = run_engine_matrix(cfg, private_streams);
+        assert_eq!(stats.cycles, 7_777);
+
+        let mut cfg = tiny_cfg(Technique::SelectiveDecay { decay_cycles: 2048 });
+        cfg.n_cores = 1;
+        let one = || private_streams().drain(..1).collect::<Vec<_>>();
+        run_engine_matrix(cfg, one);
+    }
+
+    #[test]
+    fn feeds_match_boxed_sources_bit_for_bit() {
+        // The enum-dispatched feed path must be invisible: CoreSource
+        // wrapping (Live and Dyn) changes delivery mechanics only.
+        let cfg = tiny_cfg(Technique::Decay { decay_cycles: 2048 });
+        let boxed = run_sources_with_scratch(
+            cfg,
+            sharing_streams().into_iter().map(LiveGen::boxed).collect(),
+            &mut SimScratch::default(),
+        );
+        let feeds = run_feeds_with_scratch(
+            cfg,
+            sharing_streams().into_iter().map(|w| CoreSource::Live(LiveGen::new(w))).collect(),
+            &mut SimScratch::default(),
+        );
+        assert_eq!(boxed, feeds);
     }
 
     #[test]
