@@ -1,0 +1,210 @@
+//! Per-rule `audit:allow` suppression budgets.
+//!
+//! Every escape hatch is individually justified, but the *population*
+//! of escape hatches still drifts upward one reasonable-sounding allow
+//! at a time — nobody reviews the 24th `unwrap-in-lib` against the
+//! other 23. `AUDIT_BUDGET.toml` at the workspace root pins the
+//! per-rule ceiling: the audit fails when the live suppression count
+//! exceeds a rule's budget (or when a rule with suppressions has no
+//! entry at all), and warns when the budget has unspent slack, so the
+//! ceiling ratchets down as allows are removed. Raising a ceiling is a
+//! deliberate, reviewable diff to the committed file.
+//!
+//! The file format is deliberately trivial — `rule = N` lines with `#`
+//! comments — so the checker stays dependency-free like the rest of the
+//! audit. A workspace without the file skips the check entirely: the
+//! budget is opt-in by committing one.
+
+use crate::rules::{Finding, Warning, ALLOW_BUDGET, RULE_DOCS};
+
+/// Budget file name, resolved against the workspace root.
+pub const BUDGET_FILE: &str = "AUDIT_BUDGET.toml";
+
+/// One `rule = ceiling` line.
+struct Entry {
+    rule: String,
+    ceiling: u32,
+    line: u32,
+}
+
+/// Parse the budget file. Malformed lines, unknown rules, and duplicate
+/// entries become findings — a typo'd budget must not silently grant
+/// unlimited suppressions.
+fn parse(path: &str, text: &str, findings: &mut Vec<Finding>) -> Vec<Entry> {
+    let mut entries: Vec<Entry> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i as u32 + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let parsed = body
+            .split_once('=')
+            .and_then(|(k, v)| v.trim().parse::<u32>().ok().map(|n| (k.trim().to_string(), n)));
+        let Some((rule, ceiling)) = parsed else {
+            findings.push(Finding {
+                rule: ALLOW_BUDGET,
+                file: path.to_string(),
+                line,
+                message: format!("malformed budget line `{body}`: expected `<rule> = <count>`"),
+            });
+            continue;
+        };
+        if !RULE_DOCS.iter().any(|(id, _)| *id == rule) {
+            findings.push(Finding {
+                rule: ALLOW_BUDGET,
+                file: path.to_string(),
+                line,
+                message: format!("budget entry `{rule}` names an unknown rule"),
+            });
+            continue;
+        }
+        if entries.iter().any(|e| e.rule == rule) {
+            findings.push(Finding {
+                rule: ALLOW_BUDGET,
+                file: path.to_string(),
+                line,
+                message: format!("duplicate budget entry for `{rule}`"),
+            });
+            continue;
+        }
+        entries.push(Entry { rule, ceiling, line });
+    }
+    entries
+}
+
+/// Check live suppression counts against the committed budget.
+///
+/// `counts` is the per-rule number of *used, reasoned* allows — the
+/// ones that actually suppressed a finding this run (stale and
+/// reasonless allows are already reported separately and do not spend
+/// budget). Over-budget rules and rules suppressing with no entry are
+/// findings; unspent slack is a warning so `--deny-warnings` CI keeps
+/// the ceiling tight.
+pub fn check_budget(
+    path: &str,
+    text: &str,
+    counts: &[(String, u32)],
+) -> (Vec<Finding>, Vec<Warning>) {
+    let mut findings = Vec::new();
+    let mut warnings = Vec::new();
+    let entries = parse(path, text, &mut findings);
+
+    for (rule, count) in counts {
+        match entries.iter().find(|e| &e.rule == rule) {
+            Some(e) if *count > e.ceiling => findings.push(Finding {
+                rule: ALLOW_BUDGET,
+                file: path.to_string(),
+                line: e.line,
+                message: format!(
+                    "{count} audit:allow({rule}) suppression(s) exceed the budget of {} — \
+                     remove a suppression or raise the ceiling in a reviewed diff",
+                    e.ceiling
+                ),
+            }),
+            Some(_) => {}
+            None => findings.push(Finding {
+                rule: ALLOW_BUDGET,
+                file: path.to_string(),
+                line: 0,
+                message: format!(
+                    "{count} audit:allow({rule}) suppression(s) but no `{rule} = N` budget \
+                     entry — every suppressing rule needs a committed ceiling"
+                ),
+            }),
+        }
+    }
+    for e in &entries {
+        let live = counts.iter().find(|(r, _)| r == &e.rule).map_or(0, |(_, n)| *n);
+        if e.ceiling > live {
+            warnings.push(Warning {
+                file: path.to_string(),
+                line: e.line,
+                message: format!(
+                    "budget `{} = {}` has {} unspent slot(s) ({live} live suppression(s)) — \
+                     ratchet the ceiling down",
+                    e.rule,
+                    e.ceiling,
+                    e.ceiling - live
+                ),
+            });
+        }
+    }
+    (findings, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, u32)]) -> Vec<(String, u32)> {
+        pairs.iter().map(|(r, n)| (r.to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn exact_budget_is_clean() {
+        let (f, w) =
+            check_budget("B.toml", "unwrap-in-lib = 3\n", &counts(&[("unwrap-in-lib", 3)]));
+        assert!(f.is_empty(), "{f:?}");
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn over_budget_fires_on_the_entry_line() {
+        let (f, _) = check_budget(
+            "B.toml",
+            "# ceilings\nunwrap-in-lib = 2\n",
+            &counts(&[("unwrap-in-lib", 3)]),
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (ALLOW_BUDGET, 2));
+        assert!(f[0].message.contains("exceed the budget of 2"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn suppressions_without_an_entry_fire() {
+        let (f, _) = check_budget("B.toml", "", &counts(&[("hash-iter", 1)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no `hash-iter = N` budget entry"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn slack_is_a_warning_not_a_finding() {
+        let (f, w) =
+            check_budget("B.toml", "unwrap-in-lib = 5\n", &counts(&[("unwrap-in-lib", 3)]));
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(w.len(), 1);
+        assert!(w[0].message.contains("2 unspent slot(s)"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn unknown_rules_and_malformed_lines_fire() {
+        let (f, _) = check_budget("B.toml", "no-such-rule = 1\nbroken line\n", &[]);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("unknown rule"));
+        assert!(f[1].message.contains("malformed"));
+    }
+
+    #[test]
+    fn duplicate_entries_fire_and_first_wins() {
+        let (f, w) = check_budget(
+            "B.toml",
+            "unwrap-in-lib = 3\nunwrap-in-lib = 9\n",
+            &counts(&[("unwrap-in-lib", 3)]),
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("duplicate"), "{}", f[0].message);
+        assert!(w.is_empty(), "the first (tight) ceiling is the one enforced: {w:?}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let (f, w) = check_budget(
+            "B.toml",
+            "# per-rule allow ceilings\n\nunwrap-in-lib = 1  # trace reader contract\n",
+            &counts(&[("unwrap-in-lib", 1)]),
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert!(w.is_empty(), "{w:?}");
+    }
+}

@@ -13,6 +13,9 @@
 //!   reads, ambient RNG, pointer-order casts, interior mutability,
 //!   unwrap-in-library), with `// audit:allow(rule, reason)` escape
 //!   hatches that must carry a reason;
+//! * [`budget`] — per-rule suppression ceilings against the committed
+//!   `AUDIT_BUDGET.toml`, so the allow population ratchets down, never
+//!   silently up;
 //! * [`arch`] — the crate layering DAG over every workspace
 //!   `Cargo.toml`;
 //! * [`workspace`] / [`report`] — discovery, orchestration, and the
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arch;
+pub mod budget;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -14,6 +14,11 @@ pub fn render_human(report: &AuditReport) -> String {
     for w in &report.warnings {
         out.push_str(&format!("{}:{}: warning: {}\n", w.file, w.line, w.message));
     }
+    if !report.suppressions.is_empty() {
+        let spent: Vec<String> =
+            report.suppressions.iter().map(|(rule, n)| format!("{rule}={n}")).collect();
+        out.push_str(&format!("suppressions in budget: {}\n", spent.join(", ")));
+    }
     out.push_str(&format!(
         "audit: {} finding(s), {} warning(s) across {} file(s) in {} crate(s)\n",
         report.findings.len(),
@@ -24,7 +29,8 @@ pub fn render_human(report: &AuditReport) -> String {
     out
 }
 
-/// JSON report: `{"findings": [...], "warnings": [...], "summary": {...}}`.
+/// JSON report:
+/// `{"findings": [...], "warnings": [...], "suppressions": {...}, "summary": {...}}`.
 pub fn render_json(report: &AuditReport) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
@@ -51,8 +57,15 @@ pub fn render_json(report: &AuditReport) -> String {
             esc(&w.message)
         ));
     }
+    out.push_str("\n  ],\n  \"suppressions\": {");
+    for (i, (rule, n)) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\": {}", esc(rule), n));
+    }
     out.push_str(&format!(
-        "\n  ],\n  \"summary\": {{\"findings\": {}, \"warnings\": {}, \"files_scanned\": {}, \"crates_checked\": {}}}\n}}\n",
+        "}},\n  \"summary\": {{\"findings\": {}, \"warnings\": {}, \"files_scanned\": {}, \"crates_checked\": {}}}\n}}\n",
         report.findings.len(),
         report.warnings.len(),
         report.files_scanned,

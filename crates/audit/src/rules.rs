@@ -28,6 +28,9 @@ pub const FLOAT_ORDER: &str = "float-order";
 pub const LAYERING: &str = "layering";
 /// Meta rule: a malformed or unknown `audit:allow(...)` annotation.
 pub const BAD_ALLOW: &str = "bad-allow";
+/// Meta rule: per-rule suppression counts vs the committed budget file
+/// (fires from [`crate::budget`], not from source).
+pub const ALLOW_BUDGET: &str = "allow-budget";
 
 /// Rule id → one-line description, for `--help` and the README table.
 pub const RULE_DOCS: &[(&str, &str)] = &[
@@ -39,6 +42,7 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     (UNWRAP_IN_LIB, "unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library hot paths: recoverable errors must not abort a sweep"),
     (FLOAT_ORDER, "f64/f32 reduction co-located with spawn/join/channel/par_iter: float addition is not associative; accumulate per-worker results in fixed index order, never completion order"),
     (LAYERING, "crate dependency violates the workspace layering DAG"),
+    (ALLOW_BUDGET, "used audit:allow suppressions per rule exceed the ceiling committed in AUDIT_BUDGET.toml"),
 ];
 
 /// One violation.
@@ -63,6 +67,10 @@ pub struct Warning {
 pub struct FileAudit {
     pub findings: Vec<Finding>,
     pub warnings: Vec<Warning>,
+    /// `(rule, line)` for every allow that actually suppressed a
+    /// finding here (used *and* reasoned) — the population the
+    /// suppression budget ([`crate::budget`]) is charged against.
+    pub suppressions: Vec<(String, u32)>,
 }
 
 /// Which rule set a file is audited under. Derived from its crate's
@@ -523,6 +531,9 @@ pub fn audit_source(path: &str, src: &str, rules: RuleSet) -> FileAudit {
         }
     }
     for a in &allows {
+        if a.used && a.reason.is_some() {
+            audit.suppressions.push((a.rule.clone(), a.line));
+        }
         if !a.used {
             if RULE_DOCS.iter().any(|(id, _)| *id == a.rule) {
                 audit.warnings.push(Warning {

@@ -7,11 +7,13 @@
 //! `src/bin/*` are exempt from the determinism rules by construction:
 //! they are operator-facing code, not simulation state.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::arch::{check_layering, parse_manifest, CrateInfo};
+use crate::budget::{check_budget, BUDGET_FILE};
 use crate::rules::{audit_source, FileAudit, Finding, RuleSet, Warning};
 
 /// Everything one audit run produced.
@@ -21,6 +23,9 @@ pub struct AuditReport {
     pub warnings: Vec<Warning>,
     pub files_scanned: usize,
     pub crates_checked: usize,
+    /// Used, reasoned `audit:allow` counts per rule, sorted by rule —
+    /// the population charged against `AUDIT_BUDGET.toml`.
+    pub suppressions: Vec<(String, u32)>,
 }
 
 impl AuditReport {
@@ -137,6 +142,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
 
     let mut report = AuditReport::default();
     let mut crates: Vec<CrateInfo> = Vec::new();
+    let mut suppressions: BTreeMap<String, u32> = BTreeMap::new();
 
     for member in &members {
         let crate_dir = root.join(member);
@@ -154,14 +160,26 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
         for file in files {
             let src = fs::read_to_string(&file)?;
             let rel = display_rel(root, &file);
-            let FileAudit { findings, warnings } = audit_source(&rel, &src, rules);
+            let FileAudit { findings, warnings, suppressions: used } =
+                audit_source(&rel, &src, rules);
             report.findings.extend(findings);
             report.warnings.extend(warnings);
+            for (rule, _line) in used {
+                *suppressions.entry(rule).or_insert(0) += 1;
+            }
             report.files_scanned += 1;
         }
     }
 
     report.findings.extend(check_layering(&crates));
+    report.suppressions = suppressions.into_iter().collect();
+    // Suppression budget: opt-in by committing the budget file at the
+    // workspace root; without one the ceiling check is skipped.
+    if let Ok(text) = fs::read_to_string(root.join(BUDGET_FILE)) {
+        let (findings, warnings) = check_budget(BUDGET_FILE, &text, &report.suppressions);
+        report.findings.extend(findings);
+        report.warnings.extend(warnings);
+    }
     // Deterministic report order regardless of discovery order.
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     report.warnings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

@@ -1,0 +1,124 @@
+//! Suppression-budget fixtures: a throwaway workspace on disk, audited
+//! end to end through `audit_workspace`, so the budget check is pinned
+//! at the wiring level — file discovery, suppression counting, and the
+//! opt-in-by-committed-file rule — not just the pure checker in
+//! `budget::tests`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cmpleak_audit::rules::ALLOW_BUDGET;
+use cmpleak_audit::workspace::audit_workspace;
+
+/// Lay down a minimal workspace: a facade root package plus one
+/// simulation-state member whose lib carries `n_allows` reasoned,
+/// firing `hash-iter` suppressions. `budget` is the budget file body,
+/// or `None` to leave the file uncommitted.
+fn scratch_workspace(tag: &str, n_allows: usize, budget: Option<&str>) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("cmpleak_budget_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/mem/src")).unwrap();
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/mem\"]\n\n[package]\nname = \"cmp-leakage\"\nversion = \"0.1.0\"\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/mem/Cargo.toml"),
+        "[package]\nname = \"cmpleak-mem\"\nversion = \"0.1.0\"\n",
+    )
+    .unwrap();
+    let mut lib = String::new();
+    for i in 0..n_allows {
+        lib.push_str(&format!(
+            "// audit:allow(hash-iter, fixture {i}: membership only, never iterated)\npub type M{i} = HashMap<u32, u32>;\n"
+        ));
+    }
+    fs::write(root.join("crates/mem/src/lib.rs"), lib).unwrap();
+    if let Some(body) = budget {
+        fs::write(root.join("AUDIT_BUDGET.toml"), body).unwrap();
+    }
+    root
+}
+
+#[test]
+fn counts_within_budget_audit_clean() {
+    let root = scratch_workspace("exact", 2, Some("hash-iter = 2\n"));
+    let report = audit_workspace(&root).unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    assert_eq!(report.suppressions, vec![("hash-iter".to_string(), 2)]);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn counts_over_budget_fail_the_audit() {
+    let root = scratch_workspace("over", 3, Some("hash-iter = 2\n"));
+    let report = audit_workspace(&root).unwrap();
+    let budget_findings: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == ALLOW_BUDGET).collect();
+    assert_eq!(budget_findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(budget_findings[0].file, "AUDIT_BUDGET.toml");
+    assert!(budget_findings[0].message.contains("exceed the budget of 2"));
+    assert!(!report.is_clean(false), "over-budget must fail even without --deny-warnings");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn suppressions_without_a_budget_entry_fail() {
+    let root = scratch_workspace("noentry", 1, Some("# empty ceilings\n"));
+    let report = audit_workspace(&root).unwrap();
+    assert!(
+        report.findings.iter().any(
+            |f| f.rule == ALLOW_BUDGET && f.message.contains("no `hash-iter = N` budget entry")
+        ),
+        "{:?}",
+        report.findings
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn slack_warns_so_deny_warnings_ratchets() {
+    let root = scratch_workspace("slack", 1, Some("hash-iter = 4\n"));
+    let report = audit_workspace(&root).unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+    assert!(report.warnings[0].message.contains("3 unspent slot(s)"));
+    assert!(report.is_clean(false), "slack alone passes a plain run");
+    assert!(!report.is_clean(true), "but --deny-warnings forces the ratchet");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_budget_file_skips_the_check() {
+    let root = scratch_workspace("nofile", 2, None);
+    let report = audit_workspace(&root).unwrap();
+    assert!(
+        !report.findings.iter().any(|f| f.rule == ALLOW_BUDGET),
+        "the budget is opt-in by committing the file: {:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressions, vec![("hash-iter".to_string(), 2)], "counts still reported");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn stale_and_reasonless_allows_spend_no_budget() {
+    // A stale allow (nothing fires) and a reasonless allow (does not
+    // suppress) are reported through their own channels; neither counts
+    // against the ceiling.
+    let root = scratch_workspace("nonspend", 0, Some("hash-iter = 0\n"));
+    fs::write(
+        root.join("crates/mem/src/lib.rs"),
+        "// audit:allow(hash-iter, stale: nothing fires below)\n\
+         pub type Clean = u32;\n\
+         // audit:allow(hash-iter)\n\
+         pub type M = HashMap<u32, u32>;\n",
+    )
+    .unwrap();
+    let report = audit_workspace(&root).unwrap();
+    assert!(report.suppressions.is_empty(), "{:?}", report.suppressions);
+    assert!(!report.findings.iter().any(|f| f.rule == ALLOW_BUDGET), "{:?}", report.findings);
+    fs::remove_dir_all(&root).unwrap();
+}

@@ -72,6 +72,54 @@
 //!   on cycles that report work) instead of re-summing every cycle.
 //!   Equivalence is enforced by `tests/cycle_engine_differential.rs`
 //!   and the golden sweep snapshot.
+//!
+//! # Spine gating
+//!
+//! Even with sleeping cores skipped, phases 1–3 used to be consulted on
+//! *every stepped cycle* — the residual "spine" cost. Each spine
+//! component is instead gated behind a timestamped horizon that says
+//! when it can next possibly act, and each horizon is re-derived only
+//! at the mutation points that can move it:
+//!
+//! * **bus arbitration** (both engines) — skipped while
+//!   `now < SharedBus::next_possible_grant()`: `u64::MAX` with an
+//!   empty request queue, else the occupancy horizon of the holding
+//!   transaction. The queue is FIFO with no per-request readiness and a
+//!   NACK-retry re-enqueue is itself an occupancy-charged grant, so the
+//!   horizon only moves at `push` and `try_grant` — both of which the
+//!   cycle loop observes directly.
+//! * **L2 port loops** (both engines) — an awake core's phase-3 walk is
+//!   skipped while its `ports_idle` bit is set and `now` is before its
+//!   cached decay deadline (`l2_decay_due`). The bit means "read queue,
+//!   write-retry queue and write buffer are empty, and no deferred
+//!   turn-offs are parked", a state only the core itself can leave; it
+//!   is cleared at exactly the three enqueue points
+//!   ([`PortAdapter`] `try_load` miss, `try_store` accept, and the
+//!   write-probe retry push) and recomputed after every executed
+//!   [`L2Cache::l2_cycle`] (the only place decay/deferred state moves).
+//! * **working-span batching** (worklist engine) — when every awake
+//!   core's ports are idle, the engine runs the awake set's phase-4
+//!   ticks in lockstep in a tight loop up to the earliest spine
+//!   horizon (next event, bus grant, sleeping cores' wake, earliest
+//!   decay deadline in the set, sampling-interval close), re-checking
+//!   nothing else. The ticks cannot interact: a bus request is pushed
+//!   only when `l2_cycle` drains a port queue, and the batch requires
+//!   those queues empty, so a tick at most *arms* a queue — which
+//!   clears a `ports_idle` bit and exits the loop at the end of that
+//!   cycle. Within the span only batched cores' own L1-hit events can
+//!   fire (delivered exactly on time inside the loop), no grant or
+//!   decay tick can occur, the powered-lines value is frozen so the
+//!   lazy value × span integral charges the span exactly, and keeping
+//!   a workless core ticking is stats-neutral by the same argument
+//!   that makes spurious wakes harmless. The batch exits on the first
+//!   globally workless cycle, on any port-idle invalidation, at the
+//!   horizon, or when any batched core drains its budget (reproducing
+//!   the reference `done()` stop cycle; a core already drained at
+//!   entry blocks the batch so it can reach `try_sleep`).
+//!
+//! All three are pure skip-conditions: no statistic, event, or state
+//! transition is deferred past its reference cycle, so bit-identity is
+//! preserved and enforced by the same differential matrix.
 
 use crate::bus::{BusReq, BusReqKind, SharedBus};
 use crate::config::{CmpConfig, CycleEngine, MemConfig, SimKernel};
@@ -256,6 +304,17 @@ pub struct CycleProfile {
     /// Per-core phases suppressed by the worklist engine (the core was
     /// outside the active set).
     pub core_phases_suppressed: u64,
+    /// Stepped cycles whose bus arbitration was skipped because the
+    /// grant horizon ([`SharedBus::next_possible_grant`]) proved no
+    /// grant possible this cycle.
+    pub grant_checks_skipped: u64,
+    /// Awake-core L2 port loops skipped because the per-core
+    /// `ports_idle` bit proved the whole phase a no-op.
+    pub port_loops_skipped: u64,
+    /// Cycles executed inside a working-span batch (lockstep tick-only
+    /// inner loop over the awake set; counted separately from
+    /// `cycles_stepped`).
+    pub cycles_batched: u64,
 }
 
 impl CycleProfile {
@@ -296,6 +355,32 @@ impl CycleProfile {
             self.bus_grants += 1;
         }
     }
+
+    #[inline]
+    fn on_grant_skip(&mut self) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.grant_checks_skipped += 1;
+        }
+    }
+
+    #[inline]
+    fn on_ports_skip(&mut self) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.port_loops_skipped += 1;
+        }
+    }
+
+    #[inline]
+    fn on_batch(&mut self, span: u64) {
+        #[cfg(feature = "cycle-profile")]
+        {
+            self.cycles_batched += span;
+        }
+        #[cfg(not(feature = "cycle-profile"))]
+        let _ = span;
+    }
 }
 
 /// Minimum (and default) bucket-ring window of the delayed event queue.
@@ -304,6 +389,10 @@ const MIN_EVENT_WINDOW: usize = 1024;
 /// Cap on the adaptive window: bounds the ring at 16 K buckets even for
 /// extreme memory latencies (everything farther uses the overflow heap).
 const MAX_EVENT_WINDOW: usize = 16 * 1024;
+
+/// Minimum profitable working-span batch: below this the entry checks
+/// cost about as much as the per-cycle spine they replace.
+const BATCH_MIN: u64 = 4;
 
 /// Occupancy counters of the bucketed event queue, exposed for tuning
 /// (ROADMAP "calendar-queue tuning"): how often events landed in the
@@ -532,6 +621,14 @@ impl EventQueue {
     fn is_empty(&self) -> bool {
         self.in_buckets == 0 && self.overflow.is_empty()
     }
+
+    /// Monotone push counter: comparing it across a span detects whether
+    /// any event was scheduled in between (the working-span batch uses
+    /// it to notice its own ticks arming a wakeup). Pops never move it.
+    #[inline]
+    fn push_seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 /// The write-retry queue of one core: FIFO order plus an exact multiset
@@ -615,6 +712,11 @@ struct PortAdapter<'a> {
     wb: &'a mut WriteBuffer,
     read_queue: &'a mut VecDeque<LineAddr>,
     events: &'a mut EventQueue,
+    /// The system's per-core ports-idle mask: feeding the read queue or
+    /// the write buffer arms the core's L2 port loops, so the tick must
+    /// clear the bit at exactly these enqueue points (the invalidation
+    /// half of the `ports_idle` contract; see `refresh_ports_idle`).
+    ports_idle: &'a mut u64,
 }
 
 impl CorePort for PortAdapter<'_> {
@@ -630,6 +732,7 @@ impl CorePort for PortAdapter<'_> {
             }
             L1LoadOutcome::MissPrimary => {
                 self.read_queue.push_back(line);
+                *self.ports_idle &= !(1u64 << self.core);
                 true
             }
             L1LoadOutcome::MissSecondary => true,
@@ -642,6 +745,7 @@ impl CorePort for PortAdapter<'_> {
         if !self.wb.push(line) {
             return false;
         }
+        *self.ports_idle &= !(1u64 << self.core);
         self.l1.access_store(line);
         true
     }
@@ -775,6 +879,21 @@ pub struct CmpSystem {
     /// Cycle-cost attribution (no-op unless the `cycle-profile` feature
     /// is on).
     profile: CycleProfile,
+    // ---- spine gating (see the module docs, "Spine gating") ----
+    /// One bit per core: set while that core's whole L2 port phase
+    /// ([`CmpSystem::l2_cycle`]) is provably a no-op — read queue, write
+    /// retry queue and write buffer all empty, no deferred turn-off
+    /// pending — *except* for decay clock work, which is gated separately
+    /// by `l2_decay_due`. Refreshed after every `l2_cycle` run; cleared
+    /// at the only points that can arm the phase (tick enqueues through
+    /// [`PortAdapter`], event-path write retries).
+    ports_idle: u64,
+    /// Per-core decay deadline cache (`u64::MAX` when the technique has
+    /// no decay clock): `l2_cycle` must run at this cycle even with
+    /// `ports_idle` set, so decay ticks are processed exactly on time.
+    /// The deadline only moves inside `l2_cycle` (`take_decayed` →
+    /// `advance_to`), so refreshing it there keeps the cache exact.
+    l2_decay_due: Vec<u64>,
 }
 
 impl std::fmt::Debug for CmpSystem {
@@ -878,6 +997,10 @@ impl CmpSystem {
         let all_mask = if cfg.n_cores >= 64 { !0u64 } else { (1u64 << cfg.n_cores) - 1 };
         let lines_total = l2s.iter().map(|l| l.geometry().lines() as u64).sum();
         let powered_cache = l2s.iter().map(|l| l.powered_lines()).sum();
+        // All ports-idle bits start clear: the first cycle runs every
+        // core's L2 phase once and the refresh takes over from there.
+        let l2_decay_due =
+            l2s.iter().map(|l| l.next_decay_deadline().unwrap_or(u64::MAX)).collect();
         let mut events = std::mem::take(&mut scratch.events);
         events.reset(EventQueue::window_for(&cfg.mem));
         let mut fx = std::mem::take(&mut scratch.fx);
@@ -923,6 +1046,8 @@ impl CmpSystem {
             snap_agg: Snapshot::default(),
             snap_dirty: all_mask,
             profile: CycleProfile::default(),
+            ports_idle: 0,
+            l2_decay_due,
             arena,
             cfg,
         }
@@ -1098,6 +1223,9 @@ impl CmpSystem {
     }
 
     /// The reference engine: every stepped cycle walks every core.
+    /// ("Reference" for the worklist's active set, not for spine gating:
+    /// the grant-horizon and ports-idle gates skip provable no-ops and
+    /// apply to both engines alike.)
     fn step_cycle_scan(&mut self, feed: &mut Feed) -> bool {
         let mut work = false;
         while let Some(ev) = self.events.pop_due(self.now) {
@@ -1105,12 +1233,16 @@ impl CmpSystem {
             self.handle_event(ev);
             work = true;
         }
-        if self.bus_grant() {
-            self.profile.on_grant();
-            work = true;
+        if self.now >= self.bus.next_possible_grant() {
+            if self.bus_grant() {
+                self.profile.on_grant();
+                work = true;
+            }
+        } else {
+            self.profile.on_grant_skip();
         }
         for core in 0..self.cfg.n_cores {
-            work |= self.l2_cycle(core);
+            work |= self.l2_phase(core);
         }
         for core in 0..self.cfg.n_cores {
             work |= self.tick_core(core, feed);
@@ -1128,6 +1260,27 @@ impl CmpSystem {
     /// and retry charges, which are settled in bulk when it wakes. See
     /// the module docs ("Engines") for the invariants.
     fn step_cycle_worklist(&mut self, feed: &mut Feed) -> bool {
+        // Working span: when every awake core's L2 ports are provably
+        // idle and every spine horizon is strictly ahead, their ticks
+        // cannot interact (bus requests are only pushed when a port
+        // queue drains, and those queues are empty), so the whole awake
+        // set runs in lockstep in a tight inner loop instead of
+        // re-consulting the spine each cycle. Own-source feeds only —
+        // the lane engine's starvation budget is debited per
+        // `run_segment` step, which a multi-cycle batch would bypass.
+        // A core already drained at entry is excluded (it must reach
+        // `try_sleep` on a normal cycle, or it would re-trigger the
+        // batch's drain exit every span).
+        if self.awake != 0
+            && self.awake & self.ports_idle == self.awake
+            && matches!(feed, Feed::Own)
+            && !self.any_drained(self.awake)
+        {
+            let horizon = self.batch_horizon(self.awake);
+            if horizon > self.now && horizon - self.now >= BATCH_MIN {
+                return self.run_batch(self.awake, horizon);
+            }
+        }
         let mut work = false;
         // Every event is addressed to one core and mutates only that
         // core's state: wake it (settling its deferred charges) before
@@ -1142,10 +1295,14 @@ impl CmpSystem {
         // other cores' L1s — the only cross-core mutation channel — so
         // any grant (including a conflict NACK-retry) wakes everyone.
         // Spurious wakes are harmless; missed ones would not be.
-        if self.bus_grant() {
-            self.profile.on_grant();
-            self.wake_all();
-            work = true;
+        if self.now >= self.bus.next_possible_grant() {
+            if self.bus_grant() {
+                self.profile.on_grant();
+                self.wake_all();
+                work = true;
+            }
+        } else {
+            self.profile.on_grant_skip();
         }
         // Sleeping cores skip their L2 phase, so their decay clocks are
         // processed exactly at the deadline recorded when they slept
@@ -1158,7 +1315,7 @@ impl CmpSystem {
         while pending != 0 {
             let core = pending.trailing_zeros() as usize;
             pending &= pending - 1;
-            work |= self.l2_cycle(core);
+            work |= self.l2_phase(core);
         }
         let mut pending = self.awake;
         while pending != 0 {
@@ -1324,6 +1481,175 @@ impl CmpSystem {
         if let Some(t) = decay_at {
             self.next_core_wake = self.next_core_wake.min(t);
         }
+    }
+
+    // ---- spine gating -----------------------------------------------------
+
+    /// The ports-idle predicate, recomputed from scratch: whether
+    /// `core`'s next [`CmpSystem::l2_cycle`] is provably a no-op apart
+    /// from decay work (gated separately via `l2_decay_due`). Empty
+    /// queues mean both port loops break before probing anything, so a
+    /// skipped phase charges no statistic and consumes nothing.
+    #[inline]
+    fn ports_idle_now(&self, core: usize) -> bool {
+        self.read_queues[core].is_empty()
+            && self.write_retries[core].is_empty()
+            && self.wbs[core].head().is_none()
+            && !self.l2s[core].has_deferred_turnoffs()
+    }
+
+    /// Recompute `core`'s ports-idle bit and decay-deadline cache. Runs
+    /// after every `l2_cycle`, which is the only place the phase's
+    /// *internal* arming state can change (deferred turn-offs are pushed
+    /// only by `turn_off`, reachable only from `l2_cycle`; the decay
+    /// clock advances only in `take_decayed`). External arming — tick
+    /// enqueues, event-path write retries — clears the bit at the
+    /// mutation point instead ([`PortAdapter`], `issue_write_probe`).
+    #[inline]
+    fn refresh_ports_idle(&mut self, core: usize) {
+        let bit = 1u64 << core;
+        if self.ports_idle_now(core) {
+            self.ports_idle |= bit;
+        } else {
+            self.ports_idle &= !bit;
+        }
+        self.l2_decay_due[core] = self.l2s[core].next_decay_deadline().unwrap_or(u64::MAX);
+    }
+
+    /// One core's L2 phase with the ports-idle gate applied: skip the
+    /// whole phase when the bit proves it a no-op and no decay deadline
+    /// is due, otherwise run it and refresh the bit.
+    #[inline]
+    fn l2_phase(&mut self, core: usize) -> bool {
+        if self.ports_idle & (1u64 << core) != 0 && self.now < self.l2_decay_due[core] {
+            debug_assert!(
+                self.ports_idle_now(core)
+                    && self.l2_decay_due[core]
+                        == self.l2s[core].next_decay_deadline().unwrap_or(u64::MAX),
+                "stale ports_idle bit: a mutation point failed to clear it"
+            );
+            self.profile.on_ports_skip();
+            return false;
+        }
+        let work = self.l2_cycle(core);
+        self.refresh_ports_idle(core);
+        work
+    }
+
+    /// True if any core in `mask` has drained its instruction budget.
+    #[inline]
+    fn any_drained(&self, mask: u64) -> bool {
+        let mut pending = mask;
+        while pending != 0 {
+            let core = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            if self.cores[core].drained() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// First cycle at which anything other than the batched cores' own
+    /// ticks could act: the earliest pending event, the bus grant
+    /// horizon, the sleeping cores' earliest decay wake, the earliest
+    /// decay deadline among the batched cores, the sampling-interval
+    /// close and the cycle cap. Cycles strictly before it can run as
+    /// pure ticks.
+    fn batch_horizon(&self, mask: u64) -> u64 {
+        let mut h = self.events.next_at().unwrap_or(u64::MAX);
+        h = h.min(self.bus.next_possible_grant());
+        h = h.min(self.next_core_wake);
+        let mut pending = mask;
+        while pending != 0 {
+            let core = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            h = h.min(self.l2_decay_due[core]);
+        }
+        // The interval's last cycle must be stepped normally: its close
+        // runs at the end of that cycle.
+        h = h.min(self.interval_start + self.cfg.sample_interval - 1);
+        h.min(self.cfg.max_cycles)
+    }
+
+    /// Tick the awake set in lockstep in a tight loop over
+    /// `[now, horizon)`.
+    ///
+    /// Equivalence argument, piece by piece: with every non-batched core
+    /// asleep and `ports_idle` covering the batch, a reference cycle in
+    /// the span would run (a) no event delivery before one is due —
+    /// pre-existing events bound the horizon, and events pushed *by the
+    /// batch's own ticks* are delivered in-loop exactly when due (they
+    /// are batched cores' own L1 hits, the only kind a tick can push,
+    /// and an L1 hit mutates only its own core); (b) no bus grant — the
+    /// grant horizon bounds the span, and nothing in a tick enqueues on
+    /// the bus (a miss arms a port queue, and the bus request is pushed
+    /// only when `l2_cycle` later drains it — empty queues mean no
+    /// pushes), so the batched ticks are mutually non-interacting and
+    /// lockstep order equals the reference's per-cycle core order;
+    /// (c) no L2 phase work — `ports_idle` holds until a tick enqueue
+    /// clears some core's bit, which exits the loop; (d) the ticks
+    /// themselves, executed here identically; (e) powered/interval
+    /// bookkeeping — no tick touches an L2, so the powered value is
+    /// frozen and PR 8's value×span integral charges the span exactly,
+    /// and the interval close bounds the horizon. `try_sleep` is
+    /// deferred to the next normal cycle: keeping a core awake is always
+    /// stats-neutral (the reference ticks blocked cores every cycle, and
+    /// those ticks charge exactly what the sleep settle would).
+    fn run_batch(&mut self, mask: u64, horizon: u64) -> bool {
+        debug_assert_eq!(self.awake, mask, "batch must cover exactly the awake set");
+        debug_assert_eq!(self.ports_idle & mask, mask, "batch entered with armed L2 ports");
+        self.snap_dirty |= mask;
+        let start = self.now;
+        // No pending event lies inside the horizon at entry; ticks can
+        // only schedule batched cores' own L1-hit completions, tracked
+        // here so they are delivered exactly on time.
+        let mut next_ev = u64::MAX;
+        let mut any = false;
+        let mut work;
+        loop {
+            work = false;
+            if self.now >= next_ev {
+                while let Some(ev) = self.events.pop_due(self.now) {
+                    self.profile.on_event();
+                    debug_assert!(
+                        mask & (1u64 << ev.core()) != 0,
+                        "foreign event inside a working-span batch"
+                    );
+                    self.handle_event(ev);
+                    work = true;
+                }
+                next_ev = self.events.next_at().unwrap_or(u64::MAX);
+            }
+            let seq = self.events.push_seq();
+            let mut pending = mask;
+            while pending != 0 {
+                let core = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                work |= self.tick_core(core, &mut Feed::Own);
+            }
+            if self.events.push_seq() != seq {
+                next_ev = next_ev.min(self.events.next_at().unwrap_or(u64::MAX));
+            }
+            any |= work;
+            self.now += 1;
+            // Exit on the first cycle where no batched core did anything
+            // (let the kernel probe for a quiescent span), on a tick
+            // enqueue arming any core's L2 ports, at the horizon, or the
+            // moment any core drains — the run's drain check (`done`)
+            // can flip only then, and the reference loop consults it
+            // after every cycle.
+            if !work
+                || self.ports_idle & mask != mask
+                || self.now >= horizon
+                || self.any_drained(mask)
+            {
+                break;
+            }
+        }
+        self.profile.on_batch(self.now - start);
+        self.struct_dirty |= any;
+        work
     }
 
     /// Charge cycles `[powered_synced_at, t)` into the interval's
@@ -1713,10 +2039,12 @@ impl CmpSystem {
     }
 
     /// Probe a write that is no longer in the write buffer (re-issued
-    /// after a demoted/doomed fill); retries go to the retry queue.
+    /// after a demoted/doomed fill); retries go to the retry queue —
+    /// arming the core's write-drain loop, so the ports-idle bit falls.
     fn issue_write_probe(&mut self, core: usize, line: LineAddr) {
         if self.issue_write_probe_inner(core, line) == L2WriteOutcome::Retry {
-            self.write_retries[core].push_back(line)
+            self.write_retries[core].push_back(line);
+            self.ports_idle &= !(1u64 << core);
         }
     }
 
@@ -1751,6 +2079,7 @@ impl CmpSystem {
             wb: &mut self.wbs[core],
             read_queue: &mut self.read_queues[core],
             events: &mut self.events,
+            ports_idle: &mut self.ports_idle,
         };
         (match feed {
             Feed::Own => self.cores[core].tick(&mut self.sources[core], &mut port),

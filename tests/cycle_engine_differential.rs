@@ -176,6 +176,132 @@ fn engines_agree_retry_storm() {
     differential_over_techniques(Scenario::Homogeneous(storm), "retry_storm");
 }
 
+#[test]
+fn engines_agree_nack_storm_under_grant_gating() {
+    // Heavily shared write traffic: many in-flight fills to the same
+    // lines, so bus grants repeatedly hit the split-transaction conflict
+    // rule and NACK-retry — each retry re-enqueues after charging
+    // occupancy, reopening the grant horizon. The gate must never skip a
+    // cycle in which a retried request could be granted.
+    let nack = WorkloadSpec {
+        name: "nack_storm",
+        class: BenchClass::Scientific,
+        pool_regions: 4,
+        region_bytes: 4 * 1024,
+        hot_regions: 2,
+        generation_bursts: 4,
+        burst_lines: 32,
+        accesses_per_line: 2,
+        exec_gap: (0, 4),
+        store_lines: 0.8,
+        write_fraction: 0.8,
+        shared_fraction: 0.9,
+        shared_regions: 2,
+        share_epoch_ops: 1_000,
+        revisit: true,
+    };
+    differential_over_techniques(Scenario::Homogeneous(nack), "nack_storm");
+}
+
+#[test]
+fn engines_agree_lone_core_sleeping_mid_batch() {
+    // One core alternating compute bursts with long exec gaps: the
+    // worklist engine enters a lone-core batch during every burst, and
+    // each gap ends the batch with a no-work cycle after which the core
+    // must sleep and the kernel must skip the quiet span — the
+    // batch-exit → try_sleep → quiescence handoff, repeated per burst.
+    let burster = WorkloadSpec {
+        name: "lone_burster",
+        class: BenchClass::Multimedia,
+        pool_regions: 8,
+        region_bytes: 16 * 1024,
+        hot_regions: 2,
+        generation_bursts: 2,
+        burst_lines: 8,
+        accesses_per_line: 4,
+        exec_gap: (300, 600),
+        store_lines: 0.2,
+        write_fraction: 0.2,
+        shared_fraction: 0.0,
+        shared_regions: 1,
+        share_epoch_ops: 50_000,
+        revisit: false,
+    };
+    for technique in all_techniques() {
+        let mut cfg =
+            ExperimentConfig::paper_scenario(Scenario::Homogeneous(burster), technique, 1);
+        cfg.n_cores = 1;
+        cfg.instructions_per_core = 12_000;
+        assert_engines_agree(cfg, "lone_sleep_mid_batch");
+    }
+}
+
+#[test]
+fn engines_agree_staggered_drain_inside_lockstep_batch() {
+    // Four compute-heavy cores with different exec-gap distributions:
+    // all ports idle for long stretches, so the worklist engine runs
+    // them as one lockstep working-span batch — but their per-cycle
+    // throughputs differ, so one core drains its instruction budget
+    // while the others are mid-span. The batch must stop on that exact
+    // cycle (the reference consults `done()` after every cycle) and the
+    // drained core must be excluded from subsequent spans so it can
+    // reach `try_sleep` on a normal cycle.
+    let mut fast = WorkloadSpec::volrend();
+    fast.name = "fast_cruncher";
+    fast.exec_gap = (2, 6);
+    fast.shared_fraction = 0.0;
+    let mut slow = WorkloadSpec::volrend();
+    slow.name = "slow_cruncher";
+    slow.exec_gap = (40, 90);
+    slow.shared_fraction = 0.0;
+    let mix = ScenarioSpec::new("mix_staggered_drain", vec![fast, slow, fast, slow]);
+    for technique in all_techniques() {
+        let mut cfg = ExperimentConfig::paper_scenario(Scenario::Mix(mix.clone()), technique, 1);
+        cfg.instructions_per_core = 12_000;
+        assert_engines_agree(cfg, "staggered_drain");
+    }
+}
+
+#[test]
+fn engines_agree_decay_deadline_inside_batched_span() {
+    // A lone compute-heavy core under a short decay interval: decay
+    // ticks land every ~1K cycles, well inside the exec spans the batch
+    // would otherwise cover. The batch horizon must stop at each
+    // deadline so the L2 phase processes the decay clock exactly on
+    // time — one late tick shifts turn-off cycles and breaks the
+    // leakage integral.
+    let cruncher = WorkloadSpec {
+        name: "cruncher",
+        class: BenchClass::Scientific,
+        pool_regions: 8,
+        region_bytes: 16 * 1024,
+        hot_regions: 2,
+        generation_bursts: 2,
+        burst_lines: 8,
+        accesses_per_line: 8,
+        exec_gap: (100, 250),
+        store_lines: 0.3,
+        write_fraction: 0.3,
+        shared_fraction: 0.0,
+        shared_regions: 1,
+        share_epoch_ops: 50_000,
+        revisit: true,
+    };
+    for technique in [
+        Technique::Decay { decay_cycles: 1 << 10 },
+        Technique::SelectiveDecay { decay_cycles: 1 << 10 },
+        Technique::Decay { decay_cycles: 1 << 14 },
+    ] {
+        for n_cores in [1usize, 2] {
+            let mut cfg =
+                ExperimentConfig::paper_scenario(Scenario::Homogeneous(cruncher), technique, 1);
+            cfg.n_cores = n_cores;
+            cfg.instructions_per_core = 12_000;
+            assert_engines_agree(cfg, "decay_in_batch");
+        }
+    }
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     prop_oneof![
         (0..WorkloadSpec::extended_suite().len())
