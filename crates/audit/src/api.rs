@@ -1,0 +1,253 @@
+//! Public-API completeness checker.
+//!
+//! The workspace's usability contract is that everything a downstream
+//! consumer needs is reachable from crate roots: the facade re-exports
+//! every simulation-stack crate, and each crate's root re-exports at
+//! least one item from every public module it declares — so `use
+//! cmp_leakage::core::run_sweep` works without spelunking module
+//! trees. New modules and new facade dependencies silently rot that
+//! contract; this pass makes the rot a finding.
+//!
+//! Two checks over crate-root sources (`src/lib.rs`):
+//!
+//! * **facade coverage** — every `cmpleak-*` dependency of the
+//!   `cmp-leakage` facade appears as a `pub use cmpleak_x as ...;`
+//!   re-export;
+//! * **module coverage** — every root-level `pub mod x;` in an audited
+//!   crate has at least one root-level `pub use x::...;` re-export.
+//!
+//! Escape hatch: the usual `// audit:allow(api-completeness, reason)`
+//! on the `pub mod` line or the line above (counted against
+//! `AUDIT_BUDGET.toml` like every other suppression).
+
+use crate::rules::{Finding, Warning, API_COMPLETENESS};
+
+/// One crate root to check, gathered by [`crate::workspace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiSurface {
+    /// `package.name`.
+    pub crate_name: String,
+    /// Root source path, for finding labels (e.g. `src/lib.rs`).
+    pub root_path: String,
+    /// The root source text.
+    pub src: String,
+    /// `[dependencies]` names from the crate's manifest.
+    pub deps: Vec<String>,
+}
+
+/// An `audit:allow(api-completeness, ...)` annotation in a root source.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Line-level allow scan. The full lexer is overkill here: the marker
+/// is searched in raw lines, so one inside a string literal would also
+/// count — crate roots are declaration lists, and a false suppression
+/// still needs the rule to fire on the exact next line to matter.
+fn scan_allows(src: &str) -> Vec<Allow> {
+    let marker = "audit:allow(api-completeness";
+    let mut allows = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find(marker) else { continue };
+        let rest = &line[pos + marker.len()..];
+        let has_reason = rest
+            .strip_prefix(',')
+            .and_then(|r| r.split(')').next())
+            .is_some_and(|r| !r.trim().is_empty());
+        allows.push(Allow { line: idx as u32 + 1, has_reason, used: false });
+    }
+    allows
+}
+
+/// First path segment of a `pub use` target, skipping a leading
+/// `crate::` / `self::`.
+fn use_root(target: &str) -> Option<&str> {
+    let mut t = target.trim_start();
+    for skip in ["crate::", "self::"] {
+        if let Some(rest) = t.strip_prefix(skip) {
+            t = rest;
+        }
+    }
+    let end = t.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(t.len());
+    (end > 0).then(|| &t[..end])
+}
+
+/// Check every gathered crate root. Returns findings, warnings (stale
+/// api allows), and the used-suppression count charged to the budget.
+pub fn check_api(surfaces: &[ApiSurface]) -> (Vec<Finding>, Vec<Warning>, u32) {
+    let mut findings = Vec::new();
+    let mut warnings = Vec::new();
+    let mut suppressed = 0u32;
+
+    for s in surfaces {
+        let mut allows = scan_allows(&s.src);
+        // Root-level declarations: `pub mod x;` sites (line-numbered)
+        // and the first path segment of every `pub use`.
+        let mut pub_mods: Vec<(String, u32)> = Vec::new();
+        let mut use_roots: Vec<String> = Vec::new();
+        for (idx, raw) in s.src.lines().enumerate() {
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("pub mod ") {
+                if let Some(name) = rest.strip_suffix(';') {
+                    pub_mods.push((name.trim().to_string(), idx as u32 + 1));
+                }
+            } else if let Some(rest) = line.strip_prefix("pub use ") {
+                if let Some(root) = use_root(rest) {
+                    use_roots.push(root.to_string());
+                }
+            }
+        }
+
+        let mut raw_findings: Vec<Finding> = Vec::new();
+        for (name, line) in &pub_mods {
+            if !use_roots.iter().any(|r| r == name) {
+                raw_findings.push(Finding {
+                    rule: API_COMPLETENESS,
+                    file: s.root_path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`pub mod {name}` has no root-level `pub use {name}::...` re-export: \
+                         every public module's surface must be reachable from the crate root \
+                         (re-export its items, or audit:allow with why the module is path-only)"
+                    ),
+                });
+            }
+        }
+
+        // Facade coverage: every workspace dependency re-exported.
+        if s.crate_name == "cmp-leakage" {
+            for dep in &s.deps {
+                let Some(_) = dep.strip_prefix("cmpleak-") else { continue };
+                let underscored = dep.replace('-', "_");
+                if !use_roots.contains(&underscored) {
+                    raw_findings.push(Finding {
+                        rule: API_COMPLETENESS,
+                        file: s.root_path.clone(),
+                        line: 1,
+                        message: format!(
+                            "facade does not re-export its dependency `{dep}`: \
+                             add `pub use {underscored} as <module>;` (and the doc-table row)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Allow matching: same-line or line-above, reason mandatory.
+        for f in raw_findings {
+            let mut is_suppressed = false;
+            for a in allows.iter_mut() {
+                if a.line == f.line || a.line + 1 == f.line {
+                    a.used = true;
+                    if a.has_reason {
+                        is_suppressed = true;
+                    }
+                }
+            }
+            if is_suppressed {
+                suppressed += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+        for a in &allows {
+            if !a.used {
+                warnings.push(Warning {
+                    file: s.root_path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "stale audit:allow({API_COMPLETENESS}): nothing fires here any more — remove it"
+                    ),
+                });
+            }
+        }
+    }
+    (findings, warnings, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surface(name: &str, src: &str, deps: &[&str]) -> ApiSurface {
+        ApiSurface {
+            crate_name: name.to_string(),
+            root_path: format!("crates/{name}/src/lib.rs"),
+            src: src.to_string(),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn covered_module_and_facade_pass() {
+        let lib = surface("cmpleak-x", "pub mod a;\npub use a::Thing;\n", &[]);
+        let facade = surface("cmp-leakage", "pub use cmpleak_x as x;\n", &["cmpleak-x", "serde"]);
+        let (findings, warnings, used) = check_api(&[lib, facade]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(warnings.is_empty());
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn uncovered_module_fires_at_its_line() {
+        let lib = surface("cmpleak-x", "pub mod a;\npub mod b;\npub use a::Thing;\n", &[]);
+        let (findings, _, _) = check_api(&[lib]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("pub mod b"));
+    }
+
+    #[test]
+    fn missing_facade_reexport_fires_for_workspace_deps_only() {
+        let facade = surface(
+            "cmp-leakage",
+            "pub use cmpleak_x as x;\n",
+            &["cmpleak-x", "cmpleak-y", "serde"],
+        );
+        let (findings, _, _) = check_api(&[facade]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("cmpleak-y"));
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_and_counts() {
+        let lib = surface(
+            "cmpleak-x",
+            "// audit:allow(api-completeness, internal-only helpers)\npub mod a;\n",
+            &[],
+        );
+        let (findings, warnings, used) = check_api(&[lib]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(warnings.is_empty());
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn reasonless_allow_does_not_suppress_and_stale_allow_warns() {
+        let reasonless =
+            surface("cmpleak-x", "// audit:allow(api-completeness)\npub mod a;\n", &[]);
+        let (findings, _, used) = check_api(&[reasonless]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(used, 0);
+
+        let stale = surface(
+            "cmpleak-x",
+            "// audit:allow(api-completeness, nothing fires)\npub mod a;\npub use a::T;\n",
+            &[],
+        );
+        let (findings, warnings, _) = check_api(&[stale]);
+        assert!(findings.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn crate_prefixed_use_counts_as_coverage() {
+        let lib = surface("cmpleak-x", "pub mod a;\npub use crate::a::Thing;\n", &[]);
+        let (findings, _, _) = check_api(&[lib]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

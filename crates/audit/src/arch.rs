@@ -21,8 +21,9 @@ use crate::rules::{Finding, LAYERING};
 ///   2  cmpleak-workloads (cpu)     cmpleak-trace (cpu, mem)
 ///   3  cmpleak-system (mem, coherence, cpu, workloads)
 ///   4  cmpleak-power (coherence, system)
-///   5  cmpleak-core (everything below)
-///   6  cmpleak-bench, cmp-leakage facade (everything)
+///   5  cmpleak-store (system, power)
+///   6  cmpleak-core (everything below)
+///   7  cmpleak-bench, cmp-leakage facade (everything)
 /// ```
 pub const LAYERS: &[(&str, u8)] = &[
     ("serde", 0),
@@ -39,9 +40,10 @@ pub const LAYERS: &[(&str, u8)] = &[
     ("cmpleak-trace", 2),
     ("cmpleak-system", 3),
     ("cmpleak-power", 4),
-    ("cmpleak-core", 5),
-    ("cmpleak-bench", 6),
-    ("cmp-leakage", 6),
+    ("cmpleak-store", 5),
+    ("cmpleak-core", 6),
+    ("cmpleak-bench", 7),
+    ("cmp-leakage", 7),
 ];
 
 /// One parsed crate manifest (just the slice the checker needs).

@@ -18,6 +18,9 @@
 //!   silently up;
 //! * [`arch`] — the crate layering DAG over every workspace
 //!   `Cargo.toml`;
+//! * [`api`] — public-API completeness: the facade re-exports every
+//!   simulation-stack crate and each crate root re-exports every
+//!   public module's surface;
 //! * [`workspace`] / [`report`] — discovery, orchestration, and the
 //!   human / `--json` report modes.
 //!
@@ -26,9 +29,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod arch;
 pub mod budget;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod workspace;
+
+pub use api::{check_api, ApiSurface};
+pub use arch::{check_layering, parse_manifest, CrateInfo, LAYERS};
+pub use budget::{check_budget, BUDGET_FILE};
+pub use lexer::{lex, Tok, TokKind};
+pub use report::{render_human, render_json};
+pub use rules::{audit_source, FileAudit, Finding, RuleSet, Warning, RULE_DOCS};
+pub use workspace::{audit_workspace, find_root, AuditReport};

@@ -26,6 +26,9 @@ pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
 pub const FLOAT_ORDER: &str = "float-order";
 /// Architecture rule (fires from the layering checker, not from source).
 pub const LAYERING: &str = "layering";
+/// Public-API completeness rule (fires from [`crate::api`], not from
+/// the token rules here).
+pub const API_COMPLETENESS: &str = "api-completeness";
 /// Meta rule: a malformed or unknown `audit:allow(...)` annotation.
 pub const BAD_ALLOW: &str = "bad-allow";
 /// Meta rule: per-rule suppression counts vs the committed budget file
@@ -42,8 +45,15 @@ pub const RULE_DOCS: &[(&str, &str)] = &[
     (UNWRAP_IN_LIB, "unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library hot paths: recoverable errors must not abort a sweep"),
     (FLOAT_ORDER, "f64/f32 reduction co-located with spawn/join/channel/par_iter: float addition is not associative; accumulate per-worker results in fixed index order, never completion order"),
     (LAYERING, "crate dependency violates the workspace layering DAG"),
+    (API_COMPLETENESS, "a crate root's `pub mod` with no root re-export, or a facade dependency the facade does not re-export"),
     (ALLOW_BUDGET, "used audit:allow suppressions per rule exceed the ceiling committed in AUDIT_BUDGET.toml"),
 ];
+
+/// Rules whose findings are produced by passes other than
+/// [`audit_source`] but whose `audit:allow` annotations still live in
+/// source files — the stale-allow warning here must not claim them
+/// (their own pass reports staleness).
+const EXTERNAL_SOURCE_RULES: &[&str] = &[API_COMPLETENESS];
 
 /// One violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -535,7 +545,9 @@ pub fn audit_source(path: &str, src: &str, rules: RuleSet) -> FileAudit {
             audit.suppressions.push((a.rule.clone(), a.line));
         }
         if !a.used {
-            if RULE_DOCS.iter().any(|(id, _)| *id == a.rule) {
+            if EXTERNAL_SOURCE_RULES.contains(&a.rule.as_str()) {
+                // Another pass owns this rule's allows; not stale here.
+            } else if RULE_DOCS.iter().any(|(id, _)| *id == a.rule) {
                 audit.warnings.push(Warning {
                     file: path.to_string(),
                     line: a.line,

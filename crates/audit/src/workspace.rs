@@ -12,9 +12,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::api::{check_api, ApiSurface};
 use crate::arch::{check_layering, parse_manifest, CrateInfo};
 use crate::budget::{check_budget, BUDGET_FILE};
-use crate::rules::{audit_source, FileAudit, Finding, RuleSet, Warning};
+use crate::rules::{audit_source, FileAudit, Finding, RuleSet, Warning, API_COMPLETENESS};
 
 /// Everything one audit run produced.
 #[derive(Debug, Default)]
@@ -97,9 +98,8 @@ fn rule_set_for(name: &str) -> Option<RuleSet> {
     match name {
         // Simulation-state crates: full determinism contract.
         "cmpleak-mem" | "cmpleak-coherence" | "cmpleak-cpu" | "cmpleak-workloads"
-        | "cmpleak-trace" | "cmpleak-system" | "cmpleak-power" | "cmpleak-core" | "cmp-leakage" => {
-            Some(RuleSet::SIM_STATE)
-        }
+        | "cmpleak-trace" | "cmpleak-system" | "cmpleak-power" | "cmpleak-store"
+        | "cmpleak-core" | "cmp-leakage" => Some(RuleSet::SIM_STATE),
         // The audit tool holds itself to the same bar.
         "cmpleak-audit" => Some(RuleSet::SIM_STATE),
         // Benchmark harness: timing is its job; panics are operator-facing.
@@ -142,6 +142,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
 
     let mut report = AuditReport::default();
     let mut crates: Vec<CrateInfo> = Vec::new();
+    let mut surfaces: Vec<ApiSurface> = Vec::new();
     let mut suppressions: BTreeMap<String, u32> = BTreeMap::new();
 
     for member in &members {
@@ -151,10 +152,21 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
         let toml = fs::read_to_string(&manifest_path)?;
         let info = parse_manifest(&rel_manifest, &toml);
         let name = info.name.clone();
+        let deps: Vec<String> = info.deps.iter().map(|(d, _)| d.clone()).collect();
         crates.push(info);
         report.crates_checked += 1;
 
         let Some(rules) = rule_set_for(&name) else { continue };
+        // Crate roots feed the API-completeness pass as well.
+        let root_file = crate_dir.join("src").join("lib.rs");
+        if let Ok(src) = fs::read_to_string(&root_file) {
+            surfaces.push(ApiSurface {
+                crate_name: name.clone(),
+                root_path: display_rel(root, &root_file),
+                src,
+                deps,
+            });
+        }
         let mut files = Vec::new();
         collect_rs(&crate_dir.join("src"), true, &mut files)?;
         for file in files {
@@ -172,6 +184,12 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
     }
 
     report.findings.extend(check_layering(&crates));
+    let (api_findings, api_warnings, api_suppressed) = check_api(&surfaces);
+    report.findings.extend(api_findings);
+    report.warnings.extend(api_warnings);
+    if api_suppressed > 0 {
+        *suppressions.entry(API_COMPLETENESS.to_string()).or_insert(0) += api_suppressed;
+    }
     report.suppressions = suppressions.into_iter().collect();
     // Suppression budget: opt-in by committing the budget file at the
     // workspace root; without one the ceiling check is skipped.

@@ -108,6 +108,7 @@ fn bench_adaptive_vs_fixed(c: &mut Criterion) {
         seed: 42,
         n_cores: 4,
         threads: 0,
+        store: None,
     });
     let choices = oracle_pick(&grid, "decay");
     println!("\n== ablation: fixed vs oracle-adaptive decay interval ==");

@@ -33,6 +33,7 @@ fn shared_grid() -> &'static SweepResults {
             seed: 42,
             n_cores: 4,
             threads: 0,
+            store: None,
         })
     })
 }

@@ -321,6 +321,7 @@ fn memo_section(instr: u64, reps: u32) -> MemoReport {
         seed: 42,
         n_cores: 4,
         threads: 1, // serial: measure simulation work saved, not scheduling
+        store: None,
     };
     let mut full_s = f64::INFINITY;
     let mut memoized_s = f64::INFINITY;

@@ -31,6 +31,7 @@
 //! the committed one (or below the absolute noise floor); the committed
 //! JSON is a full run.
 
+use cmpleak_bench::json_scan::{array_lines, json_field, json_str_field};
 use cmpleak_core::{Scenario, Technique, WorkloadSpec};
 use cmpleak_mem::BankArena;
 use cmpleak_system::{run_feeds_with_scratch, CmpConfig, CycleEngine, CycleProfile, SimScratch};
@@ -72,19 +73,14 @@ struct GroupCell {
 }
 
 /// One group of the committed baseline report, recovered by
-/// [`load_baseline`]'s minimal field scanner (the vendored JSON crate is
-/// serialize-only, and the file is this bin's own output, so a
-/// line-per-field scan is exact).
+/// [`load_baseline`] through the shared `json_scan` line scanner (the
+/// vendored JSON crate is serialize-only, and the file is this bin's
+/// own output, so a line-per-field scan is exact).
 struct BaselineGroup {
     scenario: String,
     size_mb: usize,
     full_scan_ns_per_cycle: f64,
     worklist_ns_per_cycle: f64,
-}
-
-/// `"key": value` on a pretty-printed line → the raw value text.
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    Some(line.strip_prefix('"')?.strip_prefix(key)?.strip_prefix("\":")?.trim())
 }
 
 /// Recover the per-group rows of a committed `BENCH_cycle.json`. Group
@@ -93,19 +89,10 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 fn load_baseline(path: &str) -> Option<Vec<BaselineGroup>> {
     let text = std::fs::read_to_string(path).ok()?;
     let mut groups = Vec::new();
-    let mut in_groups = false;
     let (mut scenario, mut size, mut fs, mut wl) = (None::<String>, None, None, None);
-    for line in text.lines() {
-        let t = line.trim().trim_end_matches(',');
-        if !in_groups {
-            in_groups = t.starts_with("\"groups\"");
-            continue;
-        }
-        if t.starts_with("\"grid\"") {
-            break;
-        }
-        if let Some(v) = json_field(t, "scenario") {
-            scenario = Some(v.trim_matches('"').to_string());
+    for t in array_lines(&text, "groups", "grid") {
+        if let Some(v) = json_str_field(t, "scenario") {
+            scenario = Some(v.to_string());
         } else if let Some(v) = json_field(t, "size_mb") {
             size = v.parse().ok();
         } else if let Some(v) = json_field(t, "full_scan_ns_per_cycle") {

@@ -137,6 +137,7 @@ fn group_cfg(scenario: &Scenario, size_mb: usize, instr: u64) -> SweepConfig {
         seed: 42,
         n_cores: 4,
         threads: 1, // serial: measure simulation work, not scheduling
+        store: None,
     }
 }
 
@@ -257,6 +258,7 @@ fn grid_section(opts: &Opts, sizes: &[usize]) -> GridReport {
         seed: 42,
         n_cores: 4,
         threads: 0,
+        store: None,
     };
     let mut scratch = ExperimentScratch::default();
     let mut cells = 0;

@@ -1,0 +1,110 @@
+//! Minimal line scanners for the harness's own pretty-printed BENCH
+//! JSON reports.
+//!
+//! The vendored JSON crate is serialize-only, and every file these
+//! scanners read is a bench bin's own `to_string_pretty` output — one
+//! field per line — so a line-per-field scan is exact. This is *not* a
+//! general JSON parser: feed it hand-edited or minified JSON and fields
+//! simply fail to match (`None`), they never misparse into wrong
+//! values.
+
+/// `"key": value` on a pretty-printed line → the raw value text
+/// (string quotes intact). The line must already be trimmed with any
+/// trailing comma removed, which is what [`array_lines`] yields.
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    Some(line.strip_prefix('"')?.strip_prefix(key)?.strip_prefix("\":")?.trim())
+}
+
+/// `"key": "text"` on a pretty-printed line → the unquoted text.
+pub fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    Some(json_field(line, key)?.trim_matches('"'))
+}
+
+/// The trimmed lines (trailing commas stripped) of a named top-level
+/// array in a pretty-printed report: iteration starts *after* the line
+/// introducing `"array_key"` and ends at the line introducing
+/// `"stop_key"` (exclusive) or at end of input. Callers scan the
+/// yielded lines with [`json_field`] and assemble rows when every
+/// wanted field has been seen — object braces pass through harmlessly.
+pub fn array_lines<'a>(
+    text: &'a str,
+    array_key: &str,
+    stop_key: &str,
+) -> impl Iterator<Item = &'a str> + 'a {
+    let start = format!("\"{array_key}\"");
+    let stop = format!("\"{stop_key}\"");
+    let mut in_array = false;
+    let mut done = false;
+    text.lines().filter_map(move |line| {
+        if done {
+            return None;
+        }
+        let t = line.trim().trim_end_matches(',');
+        if !in_array {
+            in_array = t.starts_with(start.as_str());
+            return None;
+        }
+        if t.starts_with(stop.as_str()) {
+            done = true;
+            return None;
+        }
+        Some(t)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "reps": 3,
+  "groups": [
+    {
+      "scenario": "water-ns",
+      "size_mb": 1,
+      "speedup": 2.5
+    },
+    {
+      "scenario": "fft",
+      "size_mb": 8,
+      "speedup": 1.25
+    }
+  ],
+  "grid": {
+    "scenario": "NOT-A-GROUP",
+    "size_mb": 99
+  }
+}
+"#;
+
+    #[test]
+    fn fields_parse_and_strings_unquote() {
+        assert_eq!(json_field("\"size_mb\": 8", "size_mb"), Some("8"));
+        assert_eq!(json_str_field("\"scenario\": \"fft\"", "scenario"), Some("fft"));
+        assert_eq!(json_field("\"size_mb\": 8", "scenario"), None);
+        assert_eq!(json_field("size_mb: 8", "size_mb"), None);
+    }
+
+    #[test]
+    fn array_scan_stops_at_the_stop_key() {
+        let mut rows = Vec::new();
+        let (mut scenario, mut size) = (None::<String>, None::<usize>);
+        for t in array_lines(DOC, "groups", "grid") {
+            if let Some(v) = json_str_field(t, "scenario") {
+                scenario = Some(v.to_string());
+            } else if let Some(v) = json_field(t, "size_mb") {
+                size = v.parse().ok();
+            }
+            if let (Some(s), Some(mb)) = (&scenario, size) {
+                rows.push((s.clone(), mb));
+                (scenario, size) = (None, None);
+            }
+        }
+        assert_eq!(rows, vec![("water-ns".to_string(), 1), ("fft".to_string(), 8)]);
+    }
+
+    #[test]
+    fn missing_array_yields_nothing() {
+        assert_eq!(array_lines(DOC, "absent", "grid").count(), 0);
+    }
+}

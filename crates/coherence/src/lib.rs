@@ -33,4 +33,5 @@ pub mod policy;
 pub use bus::BusRequest;
 pub use legality::{turn_off_requirements, LineDirtiness, SystemKind, TurnOffRequirements};
 pub use mesi::{Event, MesiState, SnoopContext, Transition};
+pub use moesi::{MoesiEvent, MoesiState, MoesiTransition};
 pub use policy::{DecayArming, Technique};

@@ -201,6 +201,7 @@ mod tests {
             seed: 9,
             n_cores: 2,
             threads: 0,
+            store: None,
         });
         let choices = oracle_pick(&res, "decay");
         assert_eq!(choices.len(), 2, "one choice per benchmark");

@@ -4,6 +4,7 @@ use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
 use cmpleak_mem::BankArena;
 use cmpleak_power::{evaluate_energy, PowerParams, PowerReport};
+use cmpleak_store::{CellKey, KeyHasher, StoredCell};
 use cmpleak_system::{
     run_feeds_with_scratch, run_lane_group, CmpConfig, CycleEngine, LaneScratch, SimKernel,
     SimScratch, SimStats,
@@ -57,6 +58,70 @@ impl ExperimentConfig {
             kernel: SimKernel::default(),
             engine: CycleEngine::default(),
         }
+    }
+
+    /// The content address of this experiment cell in a persistent
+    /// result store: a hash over the canonical encoding of everything
+    /// that determines the result — the scenario bytes
+    /// ([`Scenario::canonical_bytes`]), technique, cache size,
+    /// instruction budget, seed, core count, kernel/engine choice and
+    /// every power parameter — on top of the store's schema version and
+    /// code fingerprint (seeded by [`KeyHasher::new`]).
+    pub fn store_key(&self) -> CellKey {
+        let mut bytes = Vec::new();
+        self.scenario.canonical_bytes(&mut bytes);
+        self.store_key_with_scenario_bytes(&bytes)
+    }
+
+    /// [`store_key`](Self::store_key) with the scenario's canonical
+    /// bytes precomputed — a sweep encodes each scenario once and keys
+    /// every cell of its groups from the same buffer.
+    pub fn store_key_with_scenario_bytes(&self, scenario_bytes: &[u8]) -> CellKey {
+        let mut h = KeyHasher::new();
+        h.write_bytes(scenario_bytes);
+        h.write_str(&self.technique.name());
+        h.write_u64(self.total_l2_mb as u64);
+        h.write_u64(self.instructions_per_core);
+        h.write_u64(self.seed);
+        h.write_u64(self.n_cores as u64);
+        h.write_u64(match self.kernel {
+            SimKernel::QuiescenceSkip => 0,
+            SimKernel::PerCycle => 1,
+        });
+        h.write_u64(match self.engine {
+            CycleEngine::Worklist => 0,
+            CycleEngine::FullScan => 1,
+        });
+        for v in [
+            self.power.clock_ghz,
+            self.power.core_epi_pj,
+            self.power.l1_access_pj,
+            self.power.l2_access_1mb_pj,
+            self.power.bus_pj_per_byte,
+            self.power.bus_pj_per_txn,
+            self.power.l2_leak_per_line_pj,
+            self.power.other_leak_pj_per_cycle,
+            self.power.t0_celsius,
+            self.power.leak_temp_beta,
+            self.power.gated_vdd_area_overhead,
+            self.power.decay_counter_leak_fraction,
+            self.power.decay_counter_event_pj,
+            self.power.ambient_celsius,
+            self.power.block_r_to_ambient,
+            self.power.block_r_lateral,
+            self.power.block_capacitance,
+        ] {
+            h.write_f64(v);
+        }
+        h.finish(format!(
+            "{}/{}@{}MB i{} s{} c{}",
+            self.scenario.label(),
+            self.technique.name(),
+            self.total_l2_mb,
+            self.instructions_per_core,
+            self.seed,
+            self.n_cores
+        ))
     }
 
     /// Derive the simulator configuration.
@@ -195,6 +260,21 @@ pub fn run_experiment_lanes(
             }
         })
         .collect()
+}
+
+/// Rehydrate a store-loaded cell into the [`ExperimentResult`] a fresh
+/// simulation of `cfg` would have produced. The labels come from `cfg`
+/// (the stored payload carries only `SimStats` + `PowerReport`); the
+/// byte-identity of the payload itself is the store's contract, pinned
+/// by `tests/store_differential.rs`.
+pub fn result_from_stored(cfg: &ExperimentConfig, cell: StoredCell) -> ExperimentResult {
+    ExperimentResult {
+        benchmark: cfg.scenario.label(),
+        technique: cfg.technique.name(),
+        total_l2_mb: cfg.total_l2_mb,
+        stats: cell.stats,
+        power: cell.power,
+    }
 }
 
 /// Derive the **baseline** cell of `cfg` (whose `technique` must be

@@ -244,6 +244,7 @@ mod tests {
             seed: 3,
             n_cores: 2,
             threads: 0,
+            store: None,
         })
     }
 

@@ -125,6 +125,119 @@ impl Scenario {
         Scenario::SharedStream { trace: Arc::new(trace) }
     }
 
+    /// [`record_shared`](Self::record_shared) into caller-provided
+    /// stream buffers, one per core (each cleared before use). This is
+    /// the sweep pool's in-pool recording path: the recording worker
+    /// checks `n_cores` buffers out of the shared pool under one brief
+    /// lock, then records here without further synchronization. The
+    /// produced scenario is bit-identical to `record_shared`'s.
+    ///
+    /// # Panics
+    /// Panics if `buffers.len() != n_cores`.
+    pub fn record_shared_in(
+        &self,
+        n_cores: usize,
+        seed: u64,
+        instructions_per_core: u64,
+        buffers: Vec<Vec<u8>>,
+    ) -> Scenario {
+        assert_eq!(buffers.len(), n_cores, "one recording buffer per core");
+        let mut wls = self.build_workloads(n_cores, seed, instructions_per_core);
+        let mut trace = MemTrace::new(self.label(), seed);
+        for (wl, buf) in wls.iter_mut().zip(buffers) {
+            trace.record_core_in(wl.as_mut(), instructions_per_core, buf);
+        }
+        Scenario::SharedStream { trace: Arc::new(trace) }
+    }
+
+    /// Canonical byte encoding of everything about this scenario that
+    /// determines simulation results — the scenario half of a result
+    /// store content address ([`crate::store_key`]). Every field is
+    /// length- or width-delimited, so distinct scenarios cannot alias.
+    ///
+    /// For [`Scenario::TraceReplay`] the encoding covers the exact
+    /// cached file image when one is present (always the case for
+    /// scenarios built via [`Scenario::from_trace`], which preloads);
+    /// otherwise it falls back to the parsed header, which still pins
+    /// label, seed and every per-core stream's op/instruction/byte
+    /// counts.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            put_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_spec(out: &mut Vec<u8>, spec: &WorkloadSpec) {
+            put_str(out, spec.name);
+            out.push(match spec.class {
+                cmpleak_workloads::BenchClass::Scientific => 0,
+                cmpleak_workloads::BenchClass::Multimedia => 1,
+            });
+            put_u64(out, spec.pool_regions as u64);
+            put_u64(out, spec.region_bytes as u64);
+            put_u64(out, spec.hot_regions as u64);
+            put_u64(out, u64::from(spec.generation_bursts));
+            put_u64(out, u64::from(spec.burst_lines));
+            put_u64(out, u64::from(spec.accesses_per_line));
+            put_u64(out, u64::from(spec.exec_gap.0));
+            put_u64(out, u64::from(spec.exec_gap.1));
+            put_u64(out, spec.store_lines.to_bits());
+            put_u64(out, spec.write_fraction.to_bits());
+            put_u64(out, spec.shared_fraction.to_bits());
+            put_u64(out, spec.shared_regions as u64);
+            put_u64(out, spec.share_epoch_ops);
+            out.push(u8::from(spec.revisit));
+        }
+        match self {
+            Scenario::Homogeneous(spec) => {
+                out.push(1);
+                put_spec(out, spec);
+            }
+            Scenario::Mix(mix) => {
+                out.push(2);
+                put_str(out, &mix.name);
+                put_u64(out, mix.assignments.len() as u64);
+                for spec in &mix.assignments {
+                    put_spec(out, spec);
+                }
+            }
+            Scenario::TraceReplay { label, file, .. } => {
+                out.push(3);
+                put_str(out, label);
+                match file.cached_image() {
+                    Some(image) => {
+                        out.push(1);
+                        put_u64(out, image.len() as u64);
+                        out.extend_from_slice(image);
+                    }
+                    None => {
+                        out.push(0);
+                        let bytes = file.header().encode();
+                        put_u64(out, bytes.len() as u64);
+                        out.extend_from_slice(&bytes);
+                    }
+                }
+            }
+            Scenario::SharedStream { trace } => {
+                out.push(4);
+                put_str(out, trace.label());
+                put_u64(out, trace.seed());
+                put_u64(out, trace.n_cores() as u64);
+                for core in 0..trace.n_cores() {
+                    let info = trace.core_info(core);
+                    put_str(out, &info.name);
+                    put_u64(out, info.ops);
+                    put_u64(out, info.instructions);
+                    let stream = trace.stream(core);
+                    put_u64(out, stream.len() as u64);
+                    out.extend_from_slice(stream);
+                }
+            }
+        }
+    }
+
     /// Build the per-core workload drivers.
     ///
     /// # Panics

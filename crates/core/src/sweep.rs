@@ -23,15 +23,20 @@
 //! differentials that pin all three.
 
 use crate::experiment::{
-    derive_baseline_cell, run_experiment_lanes, run_experiment_with_scratch, ExperimentConfig,
-    ExperimentResult, ExperimentScratch,
+    derive_baseline_cell, result_from_stored, run_experiment_lanes, run_experiment_with_scratch,
+    ExperimentConfig, ExperimentResult, ExperimentScratch,
 };
 use crate::metrics::TechniqueMetrics;
 use crate::scenario::Scenario;
 use cmpleak_coherence::Technique;
+use cmpleak_mem::BankArena;
 use cmpleak_power::PowerParams;
+use cmpleak_store::{CellKey, ResultStore};
+use cmpleak_trace::MemTrace;
 use cmpleak_workloads::{ScenarioSpec, WorkloadSpec};
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Sweep parameters.
 #[derive(Debug, Clone)]
@@ -52,6 +57,14 @@ pub struct SweepConfig {
     pub n_cores: usize,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Persistent result store: cells whose content address is already
+    /// present are loaded instead of simulated, and freshly simulated
+    /// cells are published back. `None` (the default of every
+    /// constructor) simulates everything. The store may only ever
+    /// change latency, never results — pinned by
+    /// `tests/store_differential.rs`. Ignored by
+    /// [`run_sweep_uncached`] and the differential arms.
+    pub store: Option<Arc<ResultStore>>,
 }
 
 impl SweepConfig {
@@ -65,6 +78,7 @@ impl SweepConfig {
             seed: 42,
             n_cores: 4,
             threads: 0,
+            store: None,
         }
     }
 
@@ -181,9 +195,18 @@ fn summarize(result: &ExperimentResult, metrics: TechniqueMetrics) -> SweepCell 
 /// recompute it per cell, although trace replay is bit-identical to
 /// generation (PR 2's contract). The planner therefore records each
 /// live-generating scenario once into an in-memory trace
-/// ([`Scenario::record_shared`]) and hands every cell of the group a
+/// ([`Scenario::record_shared_in`]) and hands every cell of the group a
 /// cheap replay cursor over the shared buffer, amortizing the generator
-/// work to one recording per group.
+/// work to one recording per group. The recording happens **inside the
+/// worker pool** — the first worker to touch a group records it while
+/// other workers proceed to other groups and block only on that group —
+/// so grid latency scales with cores even on recording-heavy sweeps.
+///
+/// **Persistent store** — when [`SweepConfig::store`] is set, each
+/// cell's content address ([`ExperimentConfig::store_key`]) is probed
+/// first: hits are loaded (bit-identical to fresh simulation, pinned by
+/// `tests/store_differential.rs`), misses are simulated as usual and
+/// published back. A fully warm grid simulates — and records — nothing.
 ///
 /// **Lanes** — within each (scenario, size) group, the simulated cells
 /// all consume the same op sequence; the lane engine
@@ -205,14 +228,34 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
 /// parameter studies) re-record their streams into the same
 /// allocations. The result is identical.
 pub fn run_sweep_with_scratch(cfg: &SweepConfig, scratch: &mut ExperimentScratch) -> SweepResults {
-    run_sweep_inner(cfg, true, true, true, scratch).0
+    run_sweep_inner(cfg, PlannerArms::FULL, scratch).0
+}
+
+/// [`run_sweep`] returning the planner's work counters alongside the
+/// results: how many cells were derived, how many stream groups were
+/// recorded in-pool, and how the persistent store split the grid into
+/// hits and misses. The results are identical to [`run_sweep`]'s.
+pub fn run_sweep_with_telemetry(
+    cfg: &SweepConfig,
+    scratch: &mut ExperimentScratch,
+) -> (SweepResults, SweepTelemetry) {
+    run_sweep_inner(cfg, PlannerArms::FULL, scratch)
+}
+
+/// [`run_sweep`] ignoring [`SweepConfig::store`]: every cell is
+/// simulated (under the full optimization stack) regardless of what the
+/// store holds, and nothing is published. The arm that keeps benches
+/// and differentials meaningful when a store is configured.
+pub fn run_sweep_uncached(cfg: &SweepConfig) -> SweepResults {
+    run_sweep_inner(cfg, PlannerArms::FULL.without_store(), &mut ExperimentScratch::default()).0
 }
 
 /// [`run_sweep`] with every optimization disabled: every cell, baseline
-/// included, is fully simulated from live generators, one at a time.
-/// The differential reference for the optimized paths.
+/// included, is fully simulated from live generators, one at a time,
+/// with no store involvement. The differential reference for the
+/// optimized paths.
 pub fn run_sweep_reference(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, false, false, false, &mut ExperimentScratch::default()).0
+    run_sweep_inner(cfg, PlannerArms::REFERENCE, &mut ExperimentScratch::default()).0
 }
 
 /// [`run_sweep`] with stream sharing and lanes disabled (baseline
@@ -220,7 +263,12 @@ pub fn run_sweep_reference(cfg: &SweepConfig) -> SweepResults {
 /// live. The comparison arm the `sweep` bench uses to isolate what
 /// sharing buys.
 pub fn run_sweep_unshared(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, true, false, false, &mut ExperimentScratch::default()).0
+    run_sweep_inner(
+        cfg,
+        PlannerArms { memoize: true, ..PlannerArms::REFERENCE },
+        &mut ExperimentScratch::default(),
+    )
+    .0
 }
 
 /// [`run_sweep`] with the lane engine disabled (memoization and stream
@@ -229,18 +277,165 @@ pub fn run_sweep_unshared(cfg: &SweepConfig) -> SweepResults {
 /// a lane-engine defect is suspected, and the comparison arm of the
 /// `lanes` bench and `tests/lane_differential.rs`.
 pub fn run_sweep_sequential(cfg: &SweepConfig) -> SweepResults {
-    run_sweep_inner(cfg, true, true, false, &mut ExperimentScratch::default()).0
+    run_sweep_inner(
+        cfg,
+        PlannerArms { memoize: true, share_streams: true, ..PlannerArms::REFERENCE },
+        &mut ExperimentScratch::default(),
+    )
+    .0
 }
 
-/// Returns the results plus the number of derived (unsimulated) cells
-/// and the number of recorded shared-stream groups.
-fn run_sweep_inner(
+/// How a sweep's work actually broke down — all counters deterministic
+/// for a given configuration and store state, except that `recorded`
+/// can only shrink when store hits make whole groups skip simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTelemetry {
+    /// Baseline cells derived from a timing-identical donor instead of
+    /// simulated.
+    pub derived: usize,
+    /// Shared-stream groups recorded (by the pool's first toucher).
+    pub recorded: usize,
+    /// Cells answered from the persistent store.
+    pub store_hits: usize,
+    /// Cells simulated and published to the store.
+    pub store_misses: usize,
+}
+
+/// One grid cell's work order: the experiment configuration (carrying
+/// the **original** scenario — content addresses and recordings both
+/// key off it), whether it is simulated at all (derived baselines are
+/// not), and which scenario's stream slot it consumes.
+#[derive(Debug)]
+struct Job {
+    cfg: ExperimentConfig,
+    simulate: bool,
+    scenario_idx: usize,
+}
+
+/// Lifecycle of one scenario's shared op stream inside the pool.
+#[derive(Debug)]
+enum SlotState {
+    /// Not recorded yet — the next toucher becomes the recorder.
+    Pending,
+    /// A worker is recording; wait on the slot's condvar.
+    Recording,
+    /// The scenario every cell of this group simulates from (a shared
+    /// recording, or the original scenario when recording is off or
+    /// unprofitable).
+    Ready(Scenario),
+    /// The recording worker panicked; waiters must abort, not hang.
+    Failed,
+}
+
+/// First-toucher-records coordination for one scenario: workers needing
+/// the stream either find it [`SlotState::Ready`], record it
+/// themselves, or wait for the in-flight recording — so recording load
+/// spreads across the pool instead of running as a serial pre-pass,
+/// while every thread count still simulates identical streams.
+#[derive(Debug)]
+struct StreamSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Marks `slot` [`SlotState::Failed`] if the recording worker unwinds,
+/// so waiters abort with a diagnostic instead of deadlocking under the
+/// scoped-thread join.
+#[derive(Debug)]
+struct FailGuard<'a> {
+    slot: &'a StreamSlot,
+    armed: bool,
+}
+
+impl Drop for FailGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.slot.state.lock().unwrap_or_else(|e| e.into_inner()) = SlotState::Failed;
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// Resolve the scenario a group's cells should simulate from,
+/// recording it first if this worker is the group's first toucher. The
+/// recording itself runs lock-free: buffers come out of the shared
+/// pool under one brief lock, the slot is only held long enough to
+/// flip states.
+fn resolve_stream(
+    slot: &StreamSlot,
+    original: &Scenario,
     cfg: &SweepConfig,
+    rec_pool: &Mutex<BankArena>,
+    recorded: &AtomicUsize,
+) -> Scenario {
+    let mut st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        match &*st {
+            SlotState::Ready(s) => return s.clone(),
+            SlotState::Failed => {
+                // audit:allow(unwrap-in-lib, the recorder already panicked on its own thread; waiters must join the abort rather than simulate a stream that does not exist)
+                panic!("shared-stream recording of '{}' failed on another worker", original.label())
+            }
+            SlotState::Recording => {
+                st = slot.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            SlotState::Pending => {
+                *st = SlotState::Recording;
+                drop(st);
+                let mut guard = FailGuard { slot, armed: true };
+                let buffers: Vec<Vec<u8>> = {
+                    let mut pool = rec_pool.lock().unwrap_or_else(|e| e.into_inner());
+                    let hint = MemTrace::stream_capacity_hint(cfg.instructions_per_core);
+                    (0..cfg.n_cores).map(|_| pool.take_u8_empty(hint)).collect()
+                };
+                let rec = original.record_shared_in(
+                    cfg.n_cores,
+                    cfg.seed,
+                    cfg.instructions_per_core,
+                    buffers,
+                );
+                recorded.fetch_add(1, Ordering::Relaxed);
+                *slot.state.lock().unwrap_or_else(|e| e.into_inner()) =
+                    SlotState::Ready(rec.clone());
+                guard.armed = false;
+                slot.ready.notify_all();
+                return rec;
+            }
+        }
+    }
+}
+
+/// Which planner optimizations a sweep arm runs with. Each public
+/// `run_sweep*` entry point is one named combination; the differential
+/// suites compare them pairwise.
+#[derive(Clone, Copy)]
+struct PlannerArms {
     memoize: bool,
     share_streams: bool,
     lanes: bool,
+    use_store: bool,
+}
+
+impl PlannerArms {
+    /// Everything on — the production path.
+    const FULL: Self = Self { memoize: true, share_streams: true, lanes: true, use_store: true };
+    /// Everything off — the differential reference.
+    const REFERENCE: Self =
+        Self { memoize: false, share_streams: false, lanes: false, use_store: false };
+
+    const fn without_store(mut self) -> Self {
+        self.use_store = false;
+        self
+    }
+}
+
+/// Returns the results plus the sweep's work telemetry.
+fn run_sweep_inner(
+    cfg: &SweepConfig,
+    arms: PlannerArms,
     scratch: &mut ExperimentScratch,
-) -> (SweepResults, usize, usize) {
+) -> (SweepResults, SweepTelemetry) {
+    let PlannerArms { memoize, share_streams, lanes, use_store } = arms;
     // The technique whose run can stand in for the baseline simulation,
     // if any: the first timing-identical one in the configured list.
     let donor_offset = cfg
@@ -250,47 +445,35 @@ fn run_sweep_inner(
         .filter(|_| memoize)
         .map(|i| i + 1); // +1: the baseline occupies slot 0 of each group
 
-    // Recording pass: each (scenario, seed, budget) group — one per
+    // Stream sharing: each (scenario, seed, budget) group — one per
     // live-generating scenario entry, since seed and budget are
     // sweep-wide — is recorded once into a shared in-memory trace;
     // every cell of the group replays a cursor over it. Replay-backed
     // scenarios already share one buffer and pass through unchanged.
     // Recording pays off only when a group simulates ≥ 2 cells (the
     // recording costs one generator pass); a degenerate single-cell
-    // group stays on the live path.
+    // group stays on the live path. The recording itself happens
+    // *inside* the worker pool — the first worker to need a group's
+    // stream records it while others proceed to other groups
+    // ([`resolve_stream`]) — so grid latency scales with cores even on
+    // recording-heavy sweeps, and a fully-warm store run records
+    // nothing at all.
     let simulated_per_group = cfg.sizes_mb.len() * (1 + cfg.techniques.len())
         - if donor_offset.is_some() { cfg.sizes_mb.len() } else { 0 };
     let share_streams = share_streams && simulated_per_group > 1;
-    let mut recorded = 0usize;
-    let scenarios: Vec<Scenario> = cfg
-        .scenarios
-        .iter()
-        .map(|s| {
-            if share_streams && s.generates_live() {
-                recorded += 1;
-                s.record_shared(
-                    cfg.n_cores,
-                    cfg.seed,
-                    cfg.instructions_per_core,
-                    scratch.stream_arena(),
-                )
-            } else {
-                s.clone()
-            }
-        })
-        .collect();
 
-    // Job list: for each (scenario, size): baseline + each technique.
-    // `simulate` is false for baseline cells that will be derived.
-    let mut jobs: Vec<(ExperimentConfig, bool)> = Vec::new();
-    for scenario in &scenarios {
+    // Job list: for each (scenario, size): baseline + each technique,
+    // each carrying the original scenario. `simulate` is false for
+    // baseline cells that will be derived.
+    let mut jobs: Vec<Job> = Vec::new();
+    for (scenario_idx, scenario) in cfg.scenarios.iter().enumerate() {
         for &size in &cfg.sizes_mb {
             let mut techs = vec![Technique::Baseline];
             techs.extend(cfg.techniques.iter().copied());
             for (k, tech) in techs.into_iter().enumerate() {
                 let simulate = !(k == 0 && donor_offset.is_some());
-                jobs.push((
-                    ExperimentConfig {
+                jobs.push(Job {
+                    cfg: ExperimentConfig {
                         scenario: scenario.clone(),
                         technique: tech,
                         total_l2_mb: size,
@@ -302,10 +485,58 @@ fn run_sweep_inner(
                         engine: Default::default(),
                     },
                     simulate,
-                ));
+                    scenario_idx,
+                });
             }
         }
     }
+
+    // Content addresses, one per job, computed up front so workers
+    // never re-encode a scenario: each scenario's canonical bytes are
+    // produced once and every cell of its groups keys off that buffer.
+    // Keys are derived from the *original* scenarios, so a warm store
+    // hits across processes (a shared recording would encode
+    // identically anyway, but the original needs no recording first).
+    let store = if use_store { cfg.store.clone() } else { None };
+    let keys: Vec<Option<CellKey>> = if store.is_some() {
+        let scenario_bytes: Vec<Vec<u8>> = cfg
+            .scenarios
+            .iter()
+            .map(|s| {
+                let mut b = Vec::new();
+                s.canonical_bytes(&mut b);
+                b
+            })
+            .collect();
+        jobs.iter()
+            .map(|j| Some(j.cfg.store_key_with_scenario_bytes(&scenario_bytes[j.scenario_idx])))
+            .collect()
+    } else {
+        jobs.iter().map(|_| None).collect()
+    };
+
+    // One stream slot per scenario: replay-backed (or single-cell)
+    // groups are Ready immediately with the original scenario; live
+    // groups start Pending and are recorded by their first toucher.
+    let slots: Vec<StreamSlot> = cfg
+        .scenarios
+        .iter()
+        .map(|s| {
+            let state = if share_streams && s.generates_live() {
+                SlotState::Pending
+            } else {
+                SlotState::Ready(s.clone())
+            };
+            StreamSlot { state: Mutex::new(state), ready: Condvar::new() }
+        })
+        .collect();
+
+    let recorded = AtomicUsize::new(0);
+    let store_hits = AtomicUsize::new(0);
+    let store_misses = AtomicUsize::new(0);
+    // The shared-stream buffer pool, lent to the pool's recorders for
+    // the duration of the sweep and restored to `scratch` after.
+    let rec_pool = Mutex::new(std::mem::take(scratch.stream_arena()));
 
     // The pool's work unit: one cell when running sequentially, one
     // whole (scenario, size) group when the lane engine is on — a
@@ -327,19 +558,26 @@ fn run_sweep_inner(
         // hands out work-unit indices, an mpsc channel collects results,
         // and reassembly by index keeps the output identical for any
         // thread count.
-        let next_unit = std::sync::atomic::AtomicUsize::new(0);
+        let next_unit = AtomicUsize::new(0);
         let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, ExperimentResult)>();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let next_unit = &next_unit;
                 let jobs = &jobs;
+                let keys = &keys;
+                let slots = &slots;
+                let store = &store;
+                let rec_pool = &rec_pool;
+                let recorded = &recorded;
+                let store_hits = &store_hits;
+                let store_misses = &store_misses;
                 let res_tx = res_tx.clone();
                 s.spawn(move || {
                     // Per-worker scratch: queue/event-ring/per-line-bank
                     // allocations are recycled across this worker's jobs.
                     let mut scratch = ExperimentScratch::default();
                     loop {
-                        let u = next_unit.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let u = next_unit.fetch_add(1, Ordering::Relaxed);
                         if u >= work_units {
                             return;
                         }
@@ -347,24 +585,84 @@ fn run_sweep_inner(
                             // One lane group: the group's simulated
                             // cells (the baseline slot is absent when it
                             // will be derived) stepped through one
-                            // shared op window.
+                            // shared op window. Store hits leave the
+                            // group first; only the remainder touches
+                            // the stream slot and the simulator.
                             let base = u * group_len;
-                            let idx: Vec<usize> =
-                                (base..base + group_len).filter(|&i| jobs[i].1).collect();
-                            let cfgs: Vec<ExperimentConfig> =
-                                idx.iter().map(|&i| jobs[i].0.clone()).collect();
+                            let mut miss_idx: Vec<usize> = Vec::new();
+                            for i in (base..base + group_len).filter(|&i| jobs[i].simulate) {
+                                let hit = match (store.as_deref(), &keys[i]) {
+                                    (Some(st), Some(key)) => st.load(key),
+                                    _ => None,
+                                };
+                                match hit {
+                                    Some(cell) => {
+                                        store_hits.fetch_add(1, Ordering::Relaxed);
+                                        let r = result_from_stored(&jobs[i].cfg, cell);
+                                        if res_tx.send((i, r)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    None => miss_idx.push(i),
+                                }
+                            }
+                            if miss_idx.is_empty() {
+                                continue;
+                            }
+                            let scenario = resolve_stream(
+                                &slots[jobs[base].scenario_idx],
+                                &jobs[base].cfg.scenario,
+                                cfg,
+                                rec_pool,
+                                recorded,
+                            );
+                            let cfgs: Vec<ExperimentConfig> = miss_idx
+                                .iter()
+                                .map(|&i| {
+                                    let mut c = jobs[i].cfg.clone();
+                                    c.scenario = scenario.clone();
+                                    c
+                                })
+                                .collect();
                             let rs = run_experiment_lanes(&cfgs, &mut scratch);
-                            for (i, r) in idx.into_iter().zip(rs) {
+                            for (i, r) in miss_idx.into_iter().zip(rs) {
+                                if let (Some(st), Some(key)) = (store.as_deref(), &keys[i]) {
+                                    store_misses.fetch_add(1, Ordering::Relaxed);
+                                    st.publish(key, &r.stats, &r.power).ok();
+                                }
                                 if res_tx.send((i, r)).is_err() {
                                     return;
                                 }
                             }
                         } else {
-                            let (job, simulate) = &jobs[u];
-                            if !simulate {
+                            let job = &jobs[u];
+                            if !job.simulate {
                                 continue; // derived after the pool finishes
                             }
-                            let r = run_experiment_with_scratch(job, &mut scratch);
+                            if let (Some(st), Some(key)) = (store.as_deref(), &keys[u]) {
+                                if let Some(cell) = st.load(key) {
+                                    store_hits.fetch_add(1, Ordering::Relaxed);
+                                    let r = result_from_stored(&job.cfg, cell);
+                                    if res_tx.send((u, r)).is_err() {
+                                        return;
+                                    }
+                                    continue;
+                                }
+                            }
+                            let scenario = resolve_stream(
+                                &slots[job.scenario_idx],
+                                &job.cfg.scenario,
+                                cfg,
+                                rec_pool,
+                                recorded,
+                            );
+                            let mut run_cfg = job.cfg.clone();
+                            run_cfg.scenario = scenario;
+                            let r = run_experiment_with_scratch(&run_cfg, &mut scratch);
+                            if let (Some(st), Some(key)) = (store.as_deref(), &keys[u]) {
+                                store_misses.fetch_add(1, Ordering::Relaxed);
+                                st.publish(key, &r.stats, &r.power).ok();
+                            }
                             if res_tx.send((u, r)).is_err() {
                                 return;
                             }
@@ -379,14 +677,24 @@ fn run_sweep_inner(
         });
     }
 
+    // Reclaim the stream-buffer pool before retiring recordings into it.
+    *scratch.stream_arena() = rec_pool.into_inner().unwrap_or_else(|e| e.into_inner());
+
     // Derive the skipped baseline cells from their donors (a pure
-    // bookkeeping pass, deterministic for any thread count).
+    // bookkeeping pass, deterministic for any thread count). Derived
+    // cells are published too — if-absent, so warm sweeps stay
+    // write-free — letting later serve-mode batches answer baseline
+    // requests straight from the store.
     let mut derived = 0usize;
     if let Some(offset) = donor_offset {
         for base_idx in (0..jobs.len()).step_by(group_len) {
             // audit:allow(unwrap-in-lib, the worker pool joined above; every job slot was filled before the barrier released)
             let donor = results[base_idx + offset].as_ref().expect("donor simulated");
-            results[base_idx] = Some(derive_baseline_cell(&jobs[base_idx].0, donor));
+            let cell = derive_baseline_cell(&jobs[base_idx].cfg, donor);
+            if let (Some(st), Some(key)) = (store.as_deref(), &keys[base_idx]) {
+                st.publish_if_absent(key, &cell.stats, &cell.power).ok();
+            }
+            results[base_idx] = Some(cell);
             derived += 1;
         }
     }
@@ -395,12 +703,15 @@ fn run_sweep_inner(
         results.into_iter().map(|r| r.expect("all jobs completed")).collect();
 
     // Retire the shared recordings: with the jobs (and their cursor
-    // factories) gone, each trace has one handle left, and its encoded
-    // stream buffers go back to the scratch pool for the next sweep.
+    // factories) gone, each recorded trace has one handle left — in its
+    // slot — and its encoded stream buffers go back to the scratch pool
+    // for the next sweep. Scenarios that were Ready with a caller-owned
+    // SharedStream keep their outside handles and are left alone.
     drop(jobs);
-    for scenario in scenarios {
-        if let Scenario::SharedStream { trace } = scenario {
-            if let Some(mut t) = std::sync::Arc::into_inner(trace) {
+    for slot in slots {
+        let state = slot.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let SlotState::Ready(Scenario::SharedStream { trace }) = state {
+            if let Some(mut t) = Arc::into_inner(trace) {
                 t.release_into(scratch.stream_arena());
             }
         }
@@ -415,7 +726,13 @@ fn run_sweep_inner(
             cells.push(summarize(tech, TechniqueMetrics::compare(base, tech)));
         }
     }
-    (SweepResults { cells }, derived, recorded)
+    let telemetry = SweepTelemetry {
+        derived,
+        recorded: recorded.load(Ordering::Relaxed),
+        store_hits: store_hits.load(Ordering::Relaxed),
+        store_misses: store_misses.load(Ordering::Relaxed),
+    };
+    (SweepResults { cells }, telemetry)
 }
 
 #[cfg(test)]
@@ -434,6 +751,7 @@ mod tests {
             seed: 7,
             n_cores: 2,
             threads: 4,
+            store: None,
         }
     }
 
@@ -452,12 +770,13 @@ mod tests {
     fn memoized_sweep_equals_reference_and_actually_derives() {
         let cfg = tiny(); // includes Protocol: one derived baseline per group
         let mut scratch = ExperimentScratch::default();
-        let (memo, derived, recorded) = run_sweep_inner(&cfg, true, true, true, &mut scratch);
-        let (full, none, unrecorded) =
-            run_sweep_inner(&cfg, false, false, false, &mut ExperimentScratch::default());
-        assert_eq!(derived, 2, "one baseline derived per (scenario, size) group");
-        assert_eq!(recorded, 2, "one shared stream recorded per scenario");
-        assert_eq!((none, unrecorded), (0, 0));
+        let (memo, t) = run_sweep_inner(&cfg, PlannerArms::FULL, &mut scratch);
+        let (full, t_ref) =
+            run_sweep_inner(&cfg, PlannerArms::REFERENCE, &mut ExperimentScratch::default());
+        assert_eq!(t.derived, 2, "one baseline derived per (scenario, size) group");
+        assert_eq!(t.recorded, 2, "one shared stream recorded per scenario");
+        assert_eq!((t_ref.derived, t_ref.recorded), (0, 0));
+        assert_eq!((t.store_hits, t.store_misses), (0, 0), "no store configured");
         for (a, b) in memo.cells.iter().zip(&full.cells) {
             assert_eq!(a.cycles, b.cycles, "{}:{}", a.benchmark, a.technique);
             assert_eq!(a.mem_bytes, b.mem_bytes);
@@ -471,9 +790,12 @@ mod tests {
     fn sweep_without_a_timing_twin_simulates_every_cell() {
         let mut cfg = tiny();
         cfg.techniques = vec![Technique::Decay { decay_cycles: 16 * 1024 }];
-        let (res, derived, _) =
-            run_sweep_inner(&cfg, true, true, true, &mut ExperimentScratch::default());
-        assert_eq!(derived, 0, "no timing-identical technique, nothing to derive");
+        let (res, t) = run_sweep_inner(
+            &cfg,
+            PlannerArms::FULL.without_store(),
+            &mut ExperimentScratch::default(),
+        );
+        assert_eq!(t.derived, 0, "no timing-identical technique, nothing to derive");
         assert_eq!(res.cells.len(), 4);
     }
 

@@ -1,0 +1,63 @@
+//! Bake a fingerprint of the whole workspace's simulation sources into
+//! the store crate, so every persisted cell key is implicitly versioned
+//! by the code that produced it.
+//!
+//! Any edit to any `cmpleak-*` source (or the facade) changes the
+//! fingerprint, which changes every [`CellKey`] hash, which makes every
+//! previously stored record a *silent miss* — the safe direction: stale
+//! results can never be served after a behaviour-relevant change, at
+//! the cost of re-simulating after behaviour-irrelevant ones. The
+//! vendored dependency stubs are excluded: they are serialization and
+//! test scaffolding, not simulation state.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let workspace = Path::new("../..");
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&workspace.join("src"), &mut files);
+    if let Ok(crates) = fs::read_dir(workspace.join("crates")) {
+        for entry in crates.flatten() {
+            collect_rs(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut h = FNV_OFFSET;
+    for file in &files {
+        fnv(&mut h, file.to_string_lossy().as_bytes());
+        if let Ok(bytes) = fs::read(file) {
+            fnv(&mut h, &(bytes.len() as u64).to_le_bytes());
+            fnv(&mut h, &bytes);
+        }
+    }
+
+    println!("cargo:rustc-env=CMPLEAK_CODE_FINGERPRINT={h:016x}");
+    // Directory-level rerun: cargo walks these recursively, so any
+    // source edit anywhere in the stack re-derives the fingerprint.
+    println!("cargo:rerun-if-changed=../../src");
+    println!("cargo:rerun-if-changed=../../crates");
+}

@@ -1,0 +1,187 @@
+//! Content addressing: a stable, hand-rolled, dependency-free hash over
+//! a canonical byte encoding of everything that determines a cell's
+//! result.
+//!
+//! Two independent FNV-1a lanes (different offset basis, second lane
+//! fed a whitened byte stream) give a 128-bit address — not
+//! cryptographic, but the inputs are not adversarial and 128 bits make
+//! accidental collisions across any realistic store negligible. The
+//! hasher seeds itself with [`STORE_SCHEMA_VERSION`] and the build-time
+//! [`code_fingerprint`], so a record format change *or* any simulation
+//! source change re-addresses every cell — stale results become silent
+//! misses by construction.
+
+/// Version of the on-disk record layout (see [`crate::record`]). Bump
+/// on any encoding change; old records then fail the header check and
+/// fall back to fresh simulation.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The fingerprint of the workspace's simulation sources this binary
+/// was built from (computed by `build.rs`, baked in at compile time).
+pub fn code_fingerprint() -> &'static str {
+    env!("CMPLEAK_CODE_FINGERPRINT")
+}
+
+/// The content address of one experiment cell: a 128-bit hash plus a
+/// short human-readable descriptor that is stored in (and verified
+/// against) every record, so even a hash collision cannot cross-label
+/// results between obviously different cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    pub(crate) hash: [u64; 2],
+    /// Human-readable cell descriptor (scenario/technique/size/...).
+    pub meta: String,
+}
+
+impl CellKey {
+    /// 32-hex-digit content address (file-name material).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hash[0], self.hash[1])
+    }
+}
+
+/// Incremental key hasher. Feed the canonical encoding through the
+/// typed writers (each is length- or width-delimited, so distinct
+/// field sequences cannot alias), then [`KeyHasher::finish`].
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+    len: u64,
+}
+
+impl KeyHasher {
+    /// A hasher pre-seeded with the schema version and the code
+    /// fingerprint.
+    pub fn new() -> Self {
+        let mut h = Self { a: FNV_OFFSET, b: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15, len: 0 };
+        h.write_u64(u64::from(STORE_SCHEMA_VERSION));
+        h.write_str(code_fingerprint());
+        h
+    }
+
+    /// Raw bytes (callers delimit; prefer the typed writers).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(x ^ 0xa5)).wrapping_mul(FNV_PRIME);
+        }
+        self.len += bytes.len() as u64;
+    }
+
+    /// A `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// An `f64` by bit pattern (exact: the store's identity contract is
+    /// bitwise, so -0.0 and 0.0 are deliberately distinct).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// A length-prefixed byte run.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write(bytes);
+    }
+
+    /// Close the hash over the total fed length and attach the
+    /// human-readable descriptor.
+    pub fn finish(mut self, meta: impl Into<String>) -> CellKey {
+        let total = self.len;
+        self.write_u64(total);
+        CellKey { hash: [self.a, self.b], meta: meta.into() }
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_input_identical_key() {
+        let mut a = KeyHasher::new();
+        let mut b = KeyHasher::new();
+        for h in [&mut a, &mut b] {
+            h.write_str("FMM/decay64K");
+            h.write_u64(42);
+            h.write_f64(4.0);
+        }
+        let (ka, kb) = (a.finish("m"), b.finish("m"));
+        assert_eq!(ka, kb);
+        assert_eq!(ka.hex(), kb.hex());
+        assert_eq!(ka.hex().len(), 32);
+    }
+
+    #[test]
+    fn any_field_perturbation_moves_the_address() {
+        let base = || {
+            let mut h = KeyHasher::new();
+            h.write_str("FMM");
+            h.write_u64(1);
+            h.write_f64(0.5);
+            h
+        };
+        let k0 = base().finish("m");
+        let mut h = base();
+        h.write_u64(0); // extra field
+        assert_ne!(k0.hex(), h.finish("m").hex());
+        let mut h = KeyHasher::new();
+        h.write_str("FMN");
+        h.write_u64(1);
+        h.write_f64(0.5);
+        assert_ne!(k0.hex(), h.finish("m").hex());
+        let mut h = KeyHasher::new();
+        h.write_str("FMM");
+        h.write_u64(1);
+        h.write_f64(-0.5);
+        assert_ne!(k0.hex(), h.finish("m").hex());
+    }
+
+    #[test]
+    fn delimiting_prevents_field_aliasing() {
+        // ("ab", "c") must not collide with ("a", "bc").
+        let mut a = KeyHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = KeyHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish("m").hex(), b.finish("m").hex());
+    }
+
+    #[test]
+    fn meta_does_not_affect_the_address_but_is_carried() {
+        let mk = |meta: &str| {
+            let mut h = KeyHasher::new();
+            h.write_u64(7);
+            h.finish(meta)
+        };
+        let (a, b) = (mk("x"), mk("y"));
+        assert_eq!(a.hex(), b.hex());
+        assert_eq!(a.meta, "x");
+        assert_ne!(a, b, "keys with different meta are distinct values");
+    }
+
+    #[test]
+    fn fingerprint_is_baked_in() {
+        assert_eq!(code_fingerprint().len(), 16);
+        assert!(code_fingerprint().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

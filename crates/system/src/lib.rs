@@ -30,7 +30,10 @@ pub mod lanes;
 pub mod stats;
 pub mod system;
 
+pub use bus::{BusReq, BusReqKind, SharedBus};
 pub use config::{BusConfig, CmpConfig, CycleEngine, L1Config, L2Config, MemConfig, SimKernel};
+pub use l1::{L1Cache, L1LoadOutcome};
+pub use l2::{L2Cache, L2ReadOutcome, L2Target, L2WriteOutcome};
 pub use lanes::{run_lane_group, LaneScratch};
 pub use stats::{IntervalActivity, L1Stats, L2Stats, SimStats};
 pub use system::{
@@ -41,3 +44,6 @@ pub use system::{
 // Re-exported so scratch-pool consumers can read arena counters without
 // depending on `cmpleak-mem` directly.
 pub use cmpleak_mem::ArenaStats;
+// Re-exported so downstream consumers of SimStats (reports, the result
+// store) can name the per-core rows without a `cmpleak-cpu` dependency.
+pub use cmpleak_cpu::CoreStats;

@@ -79,11 +79,31 @@ impl MemTrace {
         min_instructions: u64,
         arena: &mut BankArena,
     ) -> &CoreStreamInfo {
+        let bytes = arena.take_u8_empty(Self::stream_capacity_hint(min_instructions));
+        self.record_core_in(wl, min_instructions, bytes)
+    }
+
+    /// Capacity hint for one core's encoded stream, from the generators'
+    /// observed density (≈2 B/op at ≈3.5 instructions/op) — so best-fit
+    /// matching finds a buffer of the right magnitude and a reused
+    /// buffer rarely regrows.
+    pub fn stream_capacity_hint(min_instructions: u64) -> usize {
+        (min_instructions as usize / 2).max(64)
+    }
+
+    /// [`record_core`](Self::record_core) into a caller-provided buffer
+    /// (cleared first) instead of an arena checkout. This is the
+    /// lock-free recording path: a sweep worker checks its buffers out
+    /// of the shared pool under one brief lock, then records here
+    /// without touching the pool again.
+    pub fn record_core_in(
+        &mut self,
+        wl: &mut dyn Workload,
+        min_instructions: u64,
+        mut bytes: Vec<u8>,
+    ) -> &CoreStreamInfo {
         let mut enc = OpEncoder::new();
-        // Capacity hint from the generators' observed density (≈2 B/op
-        // at ≈3.5 instructions/op) so best-fit matching finds a buffer
-        // of the right magnitude and a reused buffer rarely regrows.
-        let mut bytes = arena.take_u8_empty((min_instructions as usize / 2).max(64));
+        bytes.clear();
         let (mut ops, mut instructions) = (0u64, 0u64);
         while instructions < min_instructions {
             let op = wl.next_op();

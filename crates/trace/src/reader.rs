@@ -82,6 +82,17 @@ impl TraceFile {
         &self.header
     }
 
+    /// The raw file image, if it has been pulled into memory (via
+    /// [`preload`](Self::preload) or [`from_bytes`](Self::from_bytes)).
+    /// `None` while the source is still a path — callers needing the
+    /// exact bytes for content addressing should preload first.
+    pub fn cached_image(&self) -> Option<&[u8]> {
+        match &self.source {
+            Source::Bytes(b) => Some(b),
+            Source::Path(_) => None,
+        }
+    }
+
     /// Scenario label recorded in the header.
     pub fn label(&self) -> &str {
         &self.header.label

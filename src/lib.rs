@@ -23,6 +23,7 @@
 //! | [`trace`] | `cmpleak-trace` | record/replay/inspect binary reference traces |
 //! | [`system`] | `cmpleak-system` | the cycle-level CMP simulator (Fig. 1) |
 //! | [`power`] | `cmpleak-power` | energy, thermal RC model, Liao-style leakage |
+//! | [`store`] | `cmpleak-store` | content-addressed persistent result store |
 //! | [`core`] | `cmpleak-core` | experiments, metrics, sweeps, figure builders |
 //!
 //! ## Quickstart
@@ -68,6 +69,7 @@ pub use cmpleak_core as core;
 pub use cmpleak_cpu as cpu;
 pub use cmpleak_mem as mem;
 pub use cmpleak_power as power;
+pub use cmpleak_store as store;
 pub use cmpleak_system as system;
 pub use cmpleak_trace as trace;
 pub use cmpleak_workloads as workloads;

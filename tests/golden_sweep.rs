@@ -43,6 +43,7 @@ fn grid(threads: usize) -> SweepConfig {
         seed: 42,
         n_cores: 2,
         threads,
+        store: None,
     }
 }
 

@@ -97,6 +97,7 @@ fn laned_sweep_is_byte_identical_to_sequential_sweep() {
         seed: 42,
         n_cores: 4,
         threads: 4,
+        store: None,
     };
     let laned = run_sweep(&cfg);
     let sequential = run_sweep_sequential(&cfg);

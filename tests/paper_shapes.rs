@@ -31,6 +31,7 @@ fn grid() -> &'static SweepResults {
             seed: 42,
             n_cores: 4,
             threads: 0,
+            store: None,
         })
     })
 }

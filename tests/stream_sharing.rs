@@ -79,6 +79,7 @@ fn shared_sweep_is_byte_identical_to_live_generation_sweep() {
         seed: 42,
         n_cores: 4,
         threads: 4,
+        store: None,
     };
     let shared = run_sweep(&cfg);
     let live = run_sweep_unshared(&cfg);

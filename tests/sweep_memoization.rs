@@ -42,6 +42,7 @@ fn memoized_sweep_equals_full_sweep_homogeneous_two_sizes() {
         seed: 42,
         n_cores: 2,
         threads: 4,
+        store: None,
     };
     assert_sweeps_identical(&cfg, "homogeneous");
 }
@@ -61,6 +62,7 @@ fn memoized_sweep_equals_full_sweep_mixes_and_single_thread() {
         seed: 7,
         n_cores: 4,
         threads: 1,
+        store: None,
     };
     assert_sweeps_identical(&cfg, "mixes");
 }
